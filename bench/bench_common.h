@@ -1,0 +1,125 @@
+#ifndef LQDB_BENCH_BENCH_COMMON_H_
+#define LQDB_BENCH_BENCH_COMMON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lqdb/cwdb/cw_database.h"
+#include "lqdb/logic/parser.h"
+#include "lqdb/logic/query.h"
+#include "lqdb/util/rng.h"
+
+namespace lqdb {
+namespace bench {
+
+/// Wall-clock seconds of `fn()` (single shot; the google-benchmark
+/// registrations handle statistically careful timing — these are for the
+/// paper-style summary tables).
+template <typename Fn>
+double Seconds(Fn&& fn) {
+  auto start = std::chrono::steady_clock::now();
+  fn();
+  auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - start).count();
+}
+
+/// A synthetic personnel database in the spirit of the paper's examples:
+/// employees with departments and managers, where `unknowns` of the
+/// department records are unresolved (null) values.
+///
+/// Shape: `known` known constants split between employees/departments, one
+/// EMP_DEPT fact per employee, one DEPT_MGR fact per department, and
+/// `unknowns` employees assigned to anonymous departments.
+inline std::unique_ptr<CwDatabase> MakeOrgDatabase(int known, int unknowns,
+                                                   uint64_t seed) {
+  Rng rng(seed);
+  auto lb = std::make_unique<CwDatabase>();
+  // Anonymous departments first so that their ids stay stable.
+  std::vector<ConstId> anon;
+  for (int i = 0; i < unknowns; ++i) {
+    anon.push_back(lb->AddUnknownConstant("AnonDept" + std::to_string(i)));
+  }
+  const int num_depts = std::max(2, known / 4);
+  std::vector<ConstId> depts;
+  for (int i = 0; i < num_depts; ++i) {
+    depts.push_back(lb->AddKnownConstant("Dept" + std::to_string(i)));
+  }
+  std::vector<ConstId> emps;
+  const int num_emps = std::max(1, known - num_depts);
+  for (int i = 0; i < num_emps; ++i) {
+    emps.push_back(lb->AddKnownConstant("Emp" + std::to_string(i)));
+  }
+  PredId emp_dept = lb->AddPredicate("EMP_DEPT", 2).value();
+  PredId dept_mgr = lb->AddPredicate("DEPT_MGR", 2).value();
+  PredId senior = lb->AddPredicate("SENIOR", 1).value();
+  for (size_t i = 0; i < emps.size(); ++i) {
+    ConstId dept;
+    if (i < anon.size()) {
+      dept = anon[i];  // the first few employees sit in unresolved depts
+    } else {
+      dept = depts[rng.Below(depts.size())];
+    }
+    (void)lb->AddFact(emp_dept, {emps[i], dept});
+    if (rng.Chance(0.4)) (void)lb->AddFact(senior, {emps[i]});
+  }
+  for (ConstId d : depts) {
+    (void)lb->AddFact(dept_mgr, {d, emps[rng.Below(emps.size())]});
+  }
+  return lb;
+}
+
+/// A pool of queries over the MakeOrgDatabase schema, mixing positive and
+/// negative shapes. All are arity-1.
+inline std::vector<std::string> OrgQueryPool() {
+  return {
+      // Positive: who has a manager through their department?
+      "(x) . exists d m. EMP_DEPT(x, d) & DEPT_MGR(d, m)",
+      // Negative atom: seniors provably not managing any department.
+      "(x) . SENIOR(x) & !(exists d. DEPT_MGR(d, x))",
+      // Negated equality under quantifiers.
+      "(x) . exists d. EMP_DEPT(x, d) & "
+      "(forall e. EMP_DEPT(e, d) -> e = x | e != x)",
+      // Departments with no senior members.
+      "(d) . (exists e. EMP_DEPT(e, d)) & "
+      "!(exists e. EMP_DEPT(e, d) & SENIOR(e))",
+  };
+}
+
+inline Query MustParse(CwDatabase* lb, const std::string& text) {
+  auto q = ParseQuery(lb->mutable_vocab(), text);
+  if (!q.ok()) {
+    std::fprintf(stderr, "query parse failed: %s\n",
+                 q.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(q).value();
+}
+
+/// Initializes and runs google-benchmark with a short default
+/// `--benchmark_min_time` (the E-series binaries are run back to back by
+/// the harness); any flag passed on the command line wins.
+inline void RunBenchmarks(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_min_time = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_min_time", 20) == 0) {
+      has_min_time = true;
+    }
+  }
+  static char default_min_time[] = "--benchmark_min_time=0.05";
+  if (!has_min_time) args.push_back(default_min_time);
+  int new_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&new_argc, args.data());
+  benchmark::RunSpecifiedBenchmarks();
+}
+
+}  // namespace bench
+}  // namespace lqdb
+
+#endif  // LQDB_BENCH_BENCH_COMMON_H_

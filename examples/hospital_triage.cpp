@@ -1,0 +1,117 @@
+// Incomplete medical records: certain, possible and approximate answers.
+//
+// A hospital merges intake records from two systems. Some patients appear
+// under unresolved aliases (unknown identities), and the intake system
+// records allergies and prescriptions. Safety questions about this data
+// have three useful readings, all implemented by this library:
+//
+//   * certain answers  — provable in every completion of the data
+//                         (what you may act on),
+//   * possible answers — true in at least one completion
+//                         (what you must not rule out),
+//   * approximate      — the §5 polynomial algorithm: a sound subset of
+//                         the certain answers, instant to compute.
+//
+// The example also persists the database in the lqdb text format and
+// reloads it, as a deployment would.
+#include <cstdio>
+#include <string>
+
+#include "lqdb/approx/approx.h"
+#include "lqdb/cwdb/cw_database.h"
+#include "lqdb/cwdb/ph.h"
+#include "lqdb/eval/answer.h"
+#include "lqdb/exact/exact.h"
+#include "lqdb/io/text_format.h"
+#include "lqdb/logic/parser.h"
+#include "lqdb/logic/printer.h"
+
+using namespace lqdb;
+
+namespace {
+
+constexpr const char* kDatabase = R"(# merged intake records
+# Patient X arrived unconscious; "J. Doe" is an unresolved alias.
+unknown PatientX JDoe
+known Alice Bob Carla
+known Penicillin Ibuprofen Statin
+
+fact ALLERGIC(Alice, Penicillin)
+fact ALLERGIC(PatientX, Ibuprofen)
+fact PRESCRIBED(Bob, Penicillin)
+fact PRESCRIBED(Carla, Statin)
+fact PRESCRIBED(JDoe, Penicillin)
+
+# The lab has ruled out that Patient X is Bob (blood type mismatch).
+distinct PatientX Bob
+# J. Doe signed a form Carla also signed that day — different handwriting.
+distinct JDoe Carla
+# The logic is untyped (as in the paper), so nothing else stops an alias
+# from denoting a *drug*; record that the aliases are people.
+distinct PatientX Penicillin
+distinct PatientX Ibuprofen
+distinct PatientX Statin
+distinct JDoe Penicillin
+distinct JDoe Ibuprofen
+distinct JDoe Statin
+)";
+
+void Banner(const char* text) { std::printf("\n=== %s ===\n", text); }
+
+void AskAllWays(CwDatabase* lb, const std::string& text) {
+  auto q = ParseQuery(lb->mutable_vocab(), text);
+  if (!q.ok()) {
+    std::printf("parse error: %s\n", q.status().ToString().c_str());
+    return;
+  }
+  PhysicalDatabase ph1 = MakePh1(*lb);
+  ExactEvaluator exact(lb);
+  auto certain = exact.Answer(q.value());
+  auto possible = exact.PossibleAnswer(q.value());
+  auto approx = ApproxEvaluator::Make(lb);
+  auto sound = approx.value()->Answer(q.value());
+  std::printf("query: %s\n", text.c_str());
+  std::printf("  certain:  %s\n",
+              AnswerToString(ph1, certain.value()).c_str());
+  std::printf("  approx:   %s\n",
+              AnswerToString(ph1, sound.value()).c_str());
+  std::printf("  possible: %s\n",
+              AnswerToString(ph1, possible.value()).c_str());
+}
+
+}  // namespace
+
+int main() {
+  auto loaded = ParseCwDatabase(kDatabase);
+  if (!loaded.ok()) {
+    std::printf("load error: %s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  CwDatabase& lb = *loaded.value();
+  std::printf("loaded %zu constants (%zu unresolved), %zu facts, "
+              "%zu explicit axioms\n",
+              lb.num_constants(), lb.UnknownConstants().size(), lb.NumFacts(),
+              lb.explicit_distinct().size());
+
+  Banner("Who was prescribed something they are allergic to?");
+  // JDoe got Penicillin; if JDoe is Alice, that's a conflict. Not certain,
+  // but very much possible — the possible answer is the safety alarm.
+  AskAllWays(&lb, "(p) . exists d. PRESCRIBED(p, d) & ALLERGIC(p, d)");
+
+  Banner("Who can safely receive Penicillin (provably not allergic)?");
+  AskAllWays(&lb, "(p) . (exists d. PRESCRIBED(p, d)) & "
+                  "!ALLERGIC(p, Penicillin)");
+
+  Banner("Could Patient X be J. Doe?");
+  AskAllWays(&lb, "PatientX = JDoe");
+
+  Banner("Round-trip through the text format");
+  std::string serialized = SerializeCwDatabase(lb);
+  auto again = ParseCwDatabase(serialized);
+  std::printf("serialize/parse stable: %s\n",
+              (again.ok() && SerializeCwDatabase(*again.value()) ==
+                                 serialized)
+                  ? "yes"
+                  : "NO");
+  return 0;
+}

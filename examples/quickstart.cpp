@@ -1,0 +1,98 @@
+// Quickstart: a closed-world logical database with an unknown value.
+//
+// Builds the employee/department database of §2.1 of "Querying Logical
+// Databases" (Vardi, PODS'85/JCSS'86), prints the implied first-order
+// theory, and answers queries three ways:
+//   1. exact certain answers (Theorem 1, co-NP in general),
+//   2. the sound polynomial-time approximation of §5,
+//   3. physically, over Ph₁(LB), to show what naive evaluation gets wrong.
+#include <cstdio>
+
+#include "lqdb/approx/approx.h"
+#include "lqdb/cwdb/cw_database.h"
+#include "lqdb/cwdb/ph.h"
+#include "lqdb/cwdb/theory.h"
+#include "lqdb/eval/answer.h"
+#include "lqdb/eval/evaluator.h"
+#include "lqdb/exact/exact.h"
+#include "lqdb/logic/parser.h"
+#include "lqdb/logic/printer.h"
+
+using namespace lqdb;
+
+int main() {
+  // --- Build the database: facts + one unknown value. --------------------
+  CwDatabase lb;
+  // Eve's department is a null: declare it unknown *before* it appears in
+  // facts (facts intern their constants as known values).
+  ConstId eves_dept = lb.AddUnknownConstant("EvesDept");
+
+  if (auto s = lb.AddFact("EMP_DEPT", {"Ann", "Toys"}); !s.ok()) return 1;
+  if (auto s = lb.AddFact("EMP_DEPT", {"Bob", "Books"}); !s.ok()) return 1;
+  if (auto s = lb.AddFact("DEPT_MGR", {"Toys", "Carol"}); !s.ok()) return 1;
+  if (auto s = lb.AddFact("DEPT_MGR", {"Books", "Dan"}); !s.ok()) return 1;
+  ConstId eve = lb.AddKnownConstant("Eve");
+  PredId emp_dept = lb.vocab().FindPredicate("EMP_DEPT");
+  if (auto s = lb.AddFact(emp_dept, {eve, eves_dept}); !s.ok()) return 1;
+
+  std::printf("=== The stored database ===\n%s\n",
+              MakePh1(lb).ToString().c_str());
+
+  // --- The theory T that this database *is* (§2.2). -----------------------
+  Theory theory = TheoryOf(&lb);
+  std::printf("=== The implied first-order theory T ===\n%s\n",
+              PrintTheory(lb.vocab(), theory).c_str());
+
+  // --- Query: who manages whom? -------------------------------------------
+  auto query = ParseQuery(
+      lb.mutable_vocab(),
+      "(x1, x2) . exists y. EMP_DEPT(x1, y) & DEPT_MGR(y, x2)");
+  if (!query.ok()) {
+    std::printf("parse error: %s\n", query.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("=== Query ===\n%s\n\n",
+              PrintQuery(lb.vocab(), query.value()).c_str());
+
+  PhysicalDatabase ph1 = MakePh1(lb);
+
+  // 1. Naive: treat the stored tuples as a physical database.
+  Evaluator physical(&ph1);
+  auto physical_answer = physical.Answer(query.value());
+  std::printf("physical answer over Ph1(LB):  %s\n",
+              AnswerToString(ph1, physical_answer.value()).c_str());
+
+  // 2. Exact certain answers (Theorem 1).
+  ExactEvaluator exact(&lb);
+  auto exact_answer = exact.Answer(query.value());
+  std::printf("exact certain answers Q(LB):   %s\n",
+              AnswerToString(ph1, exact_answer.value()).c_str());
+
+  // 3. The §5 approximation: sound, polynomial, complete here because the
+  //    query is positive (Theorem 13).
+  auto approx = ApproxEvaluator::Make(&lb);
+  auto approx_answer = approx.value()->Answer(query.value());
+  std::printf("approximate answers A(Q, LB):  %s\n\n",
+              AnswerToString(ph1, approx_answer.value()).c_str());
+
+  // The punchline: physical evaluation *hallucinates* nothing here (the
+  // query is positive), but on a negative query it over-claims:
+  auto negative = ParseQuery(lb.mutable_vocab(),
+                             "(x) . !EMP_DEPT(Eve, x)");
+  Evaluator physical2(&ph1);
+  ExactEvaluator exact2(&lb);
+  auto approx2 = ApproxEvaluator::Make(&lb);
+  std::printf("negative query %s\n",
+              PrintQuery(lb.vocab(), negative.value()).c_str());
+  std::printf("  physical (wrong, treats the null as a literal): %s\n",
+              AnswerToString(ph1, physical2.Answer(negative.value()).value())
+                  .c_str());
+  std::printf("  exact certain answers:                          %s\n",
+              AnswerToString(ph1, exact2.Answer(negative.value()).value())
+                  .c_str());
+  std::printf("  sound approximation:                            %s\n",
+              AnswerToString(
+                  ph1, approx2.value()->Answer(negative.value()).value())
+                  .c_str());
+  return 0;
+}

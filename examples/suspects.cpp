@@ -1,0 +1,101 @@
+// The Jack-the-Ripper example: reasoning with unknown identities.
+//
+// §2.2 of the paper motivates uniqueness axioms with: "we may not have the
+// axiom ¬(Jack the Ripper = Benjamin D'Israeli), since we do not know the
+// identity of Jack the Ripper." This example builds that world, shows which
+// (in)equalities are certain, and exhibits Theorem 1 counterexample
+// certificates — the model of the theory that refutes a non-answer.
+#include <cstdio>
+#include <string>
+
+#include "lqdb/approx/approx.h"
+#include "lqdb/cwdb/cw_database.h"
+#include "lqdb/cwdb/mapping.h"
+#include "lqdb/cwdb/ph.h"
+#include "lqdb/eval/answer.h"
+#include "lqdb/exact/exact.h"
+#include "lqdb/logic/parser.h"
+#include "lqdb/logic/printer.h"
+
+using namespace lqdb;
+
+namespace {
+
+void Ask(CwDatabase* lb, const std::string& text) {
+  auto query = ParseQuery(lb->mutable_vocab(), text);
+  if (!query.ok()) {
+    std::printf("  parse error: %s\n", query.status().ToString().c_str());
+    return;
+  }
+  ExactEvaluator exact(lb);
+  std::optional<Counterexample> cex;
+  auto result = exact.Contains(query.value(), {}, &cex);
+  if (!result.ok()) {
+    std::printf("  error: %s\n", result.status().ToString().c_str());
+    return;
+  }
+  std::printf("  %-55s -> %s\n", text.c_str(),
+              result.value() ? "CERTAIN" : "not certain");
+  if (!result.value() && cex.has_value()) {
+    std::printf("    refuting world: ");
+    for (ConstId c = 0; c < lb->num_constants(); ++c) {
+      if (cex->h[c] != c) {
+        std::printf("%s=%s ", lb->vocab().ConstantName(c).c_str(),
+                    lb->vocab().ConstantName(cex->h[c]).c_str());
+      }
+    }
+    std::printf("(all others themselves)\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  CwDatabase lb;
+  ConstId jack = lb.AddUnknownConstant("JackTheRipper");
+  lb.AddKnownConstant("Disraeli");
+  lb.AddKnownConstant("Victoria");
+  lb.AddKnownConstant("Gladstone");
+
+  PredId murderer = lb.AddPredicate("MURDERER", 1).value();
+  PredId in_london = lb.AddPredicate("IN_LONDON", 1).value();
+  if (!lb.AddFact(murderer, {jack}).ok()) return 1;
+  if (!lb.AddFact("IN_LONDON", {"JackTheRipper"}).ok()) return 1;
+  if (!lb.AddFact("IN_LONDON", {"Disraeli"}).ok()) return 1;
+  if (!lb.AddFact("IN_LONDON", {"Gladstone"}).ok()) return 1;
+  (void)in_london;
+  // The Queen, at least, is above suspicion.
+  if (!lb.AddDistinct("JackTheRipper", "Victoria").ok()) return 1;
+
+  std::printf("Facts: MURDERER(JackTheRipper); IN_LONDON(Jack, Disraeli, "
+              "Gladstone)\n");
+  std::printf("Uniqueness: Jack != Victoria, plus all pairs of known "
+              "people\n\n");
+
+  std::printf("Identity questions (Theorem 1, with certificates):\n");
+  Ask(&lb, "JackTheRipper = Disraeli");
+  Ask(&lb, "JackTheRipper != Disraeli");
+  Ask(&lb, "JackTheRipper != Victoria");
+  Ask(&lb, "Disraeli != Victoria");
+  std::printf("\nClosed-world consequences:\n");
+  Ask(&lb, "exists x. MURDERER(x) & IN_LONDON(x)");
+  Ask(&lb, "!MURDERER(Victoria)");
+  Ask(&lb, "!MURDERER(Disraeli)");
+  Ask(&lb, "forall x. MURDERER(x) -> IN_LONDON(x)");
+  Ask(&lb, "forall x. MURDERER(x) -> x != Victoria");
+
+  // Who is provably innocent? Sound approximation vs exact answers.
+  auto query = ParseQuery(lb.mutable_vocab(), "(x) . !MURDERER(x)");
+  ExactEvaluator exact(&lb);
+  auto exact_answer = exact.Answer(query.value());
+  auto approx = ApproxEvaluator::Make(&lb);
+  auto approx_answer = approx.value()->Answer(query.value());
+  PhysicalDatabase ph1 = MakePh1(lb);
+  std::printf("\nProvably innocent, exact:       %s\n",
+              AnswerToString(ph1, exact_answer.value()).c_str());
+  std::printf("Provably innocent, approximate: %s\n",
+              AnswerToString(ph1, approx_answer.value()).c_str());
+  std::printf("(Disraeli and Gladstone stay off both lists: either might "
+              "be Jack.)\n");
+  return 0;
+}

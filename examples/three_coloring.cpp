@@ -1,0 +1,78 @@
+// Graph 3-coloring as logical query evaluation (Theorem 5(2)).
+//
+// The co-NP-hardness proof of the paper is constructive: a graph G maps to
+// a CW logical database LB (vertex constants with unknown identities, color
+// constants 1,2,3) and a *fixed* Boolean query φ such that
+//
+//     G is 3-colorable  iff  LB ⊭_f φ.
+//
+// This example runs the reduction on classic graphs, cross-checks against a
+// direct backtracking solver, and — when the graph is colorable — decodes a
+// 3-coloring out of the Theorem 1 counterexample certificate.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lqdb/exact/exact.h"
+#include "lqdb/logic/printer.h"
+#include "lqdb/reductions/coloring.h"
+#include "lqdb/reductions/graph.h"
+
+using namespace lqdb;
+
+namespace {
+
+void Solve(const std::string& name, const Graph& g) {
+  auto red = BuildColoringReduction(g);
+  if (!red.ok()) {
+    std::printf("%s: %s\n", name.c_str(), red.status().ToString().c_str());
+    return;
+  }
+  ExactEvaluator exact(&red->lb);
+  std::optional<Counterexample> cex;
+  auto certain = exact.Contains(red->query, {}, &cex);
+  if (!certain.ok()) {
+    std::printf("%s: %s\n", name.c_str(),
+                certain.status().ToString().c_str());
+    return;
+  }
+  const bool colorable_by_logic = !certain.value();
+  const bool colorable_by_solver = IsKColorable(g, 3);
+  std::printf("%-12s %2d vertices %3zu edges | query %-11s => %-17s | "
+              "solver: %s%s\n",
+              name.c_str(), g.num_vertices(), g.num_edges(),
+              certain.value() ? "CERTAIN" : "not certain",
+              colorable_by_logic ? "3-colorable" : "not 3-colorable",
+              colorable_by_solver ? "3-colorable" : "not 3-colorable",
+              colorable_by_logic == colorable_by_solver ? "" : "  MISMATCH!");
+
+  if (colorable_by_logic && cex.has_value()) {
+    // The refuting mapping h collapses each vertex constant onto one of the
+    // color constants 1, 2, 3 (ids 0, 1, 2) — read the coloring off h.
+    std::printf("             coloring from the certificate:");
+    for (int v = 0; v < g.num_vertices(); ++v) {
+      ConstId cv = red->lb.vocab().FindConstant("c" + std::to_string(v));
+      std::printf(" %d:%s", v,
+                  red->lb.vocab().ConstantName(cex->h[cv]).c_str());
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Reduction query: () . (forall y. M(y)) -> exists z. "
+              "R(z, z)\n\n");
+  Solve("K3", CompleteGraph(3));
+  Solve("K4", CompleteGraph(4));
+  Solve("C4", CycleGraph(4));
+  Solve("C5", CycleGraph(5));
+  Solve("C7", CycleGraph(7));
+  Solve("K33", CompleteBipartiteGraph(3, 3));
+  Solve("Petersen", PetersenGraph());
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    Solve("G(6,.6)#" + std::to_string(seed), RandomGraph(6, 0.6, seed));
+  }
+  return 0;
+}

@@ -1,0 +1,150 @@
+#include "lqdb/approx/alpha.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+namespace lqdb {
+
+FormulaPtr BuildConnectivity(Vocabulary* vocab, int m, Term u, Term v,
+                             const EdgeFormulaFn& edge) {
+  assert(m >= 1);
+  if (m <= 1) {
+    return Formula::Or(Formula::Equals(u, v), edge(u, v));
+  }
+  const int half = (m + 1) / 2;
+  VarId z = vocab->FreshVariable("z");
+  VarId p = vocab->FreshVariable("p");
+  VarId q = vocab->FreshVariable("q");
+  Term tz = Term::Variable(z);
+  Term tp = Term::Variable(p);
+  Term tq = Term::Variable(q);
+  // The universal-pair trick keeps a single recursive occurrence:
+  // ∃z ∀p ∀q (((p=u ∧ q=z) ∨ (p=z ∧ q=v)) → conn_half(p, q)).
+  FormulaPtr guard = Formula::Or(
+      Formula::And(Formula::Equals(tp, u), Formula::Equals(tq, tz)),
+      Formula::And(Formula::Equals(tp, tz), Formula::Equals(tq, v)));
+  FormulaPtr inner = BuildConnectivity(vocab, half, tp, tq, edge);
+  return Formula::Exists(
+      z, Formula::Forall(
+             p, Formula::Forall(
+                    q, Formula::Implies(std::move(guard), std::move(inner)))));
+}
+
+FormulaPtr BuildAlpha(Vocabulary* vocab, PredId pred, PredId ne,
+                      const std::vector<VarId>& xs) {
+  const int k = vocab->PredicateArity(pred);
+  assert(static_cast<int>(xs.size()) == k &&
+         "free-variable count must equal the predicate arity");
+  // Fresh universally quantified tuple y.
+  std::vector<VarId> ys;
+  TermList y_terms;
+  for (int i = 0; i < k; ++i) {
+    VarId y = vocab->FreshVariable("y" + std::to_string(i + 1));
+    ys.push_back(y);
+    y_terms.push_back(Term::Variable(y));
+  }
+
+  // γ_{x,y}: connectivity in the graph with edges {xi, yi}. Components of
+  // G_{x,y} have at most 2k vertices, so paths of length 2k suffice.
+  EdgeFormulaFn edge = [&xs, &ys](Term s, Term t) -> FormulaPtr {
+    std::vector<FormulaPtr> cases;
+    for (size_t i = 0; i < xs.size(); ++i) {
+      Term xi = Term::Variable(xs[i]);
+      Term yi = Term::Variable(ys[i]);
+      cases.push_back(
+          Formula::And(Formula::Equals(s, xi), Formula::Equals(t, yi)));
+      cases.push_back(
+          Formula::And(Formula::Equals(s, yi), Formula::Equals(t, xi)));
+    }
+    return Formula::Or(std::move(cases));
+  };
+
+  VarId u = vocab->FreshVariable("u");
+  VarId v = vocab->FreshVariable("v");
+  FormulaPtr gamma = (k == 0)
+                         ? Formula::False()  // empty graph: nothing connects
+                         : BuildConnectivity(vocab, 2 * k, Term::Variable(u),
+                                             Term::Variable(v), edge);
+  FormulaPtr witness = Formula::Exists(
+      u, Formula::Exists(
+             v, Formula::And(
+                    Formula::Atom(ne, {Term::Variable(u), Term::Variable(v)}),
+                    std::move(gamma))));
+  return Formula::Forall(
+      ys, Formula::Implies(Formula::Atom(pred, y_terms), std::move(witness)));
+}
+
+namespace {
+
+/// Tiny union-find over the (at most 2k) values of a disagreement probe.
+class UnionFind {
+ public:
+  int Find(Value v) {
+    for (size_t i = 0; i < items_.size(); ++i) {
+      if (items_[i] == v) return Root(static_cast<int>(i));
+    }
+    items_.push_back(v);
+    parent_.push_back(static_cast<int>(items_.size()) - 1);
+    return static_cast<int>(items_.size()) - 1;
+  }
+
+  void Union(Value a, Value b) {
+    int ra = Find(a);
+    int rb = Find(b);
+    if (ra != rb) parent_[ra] = rb;
+  }
+
+  bool Connected(Value a, Value b) { return Find(a) == Find(b); }
+
+  const std::vector<Value>& items() const { return items_; }
+
+ private:
+  int Root(int i) {
+    while (parent_[i] != i) {
+      parent_[i] = parent_[parent_[i]];
+      i = parent_[i];
+    }
+    return i;
+  }
+
+  std::vector<Value> items_;
+  std::vector<int> parent_;
+};
+
+}  // namespace
+
+bool Disagree(const CwDatabase& lb, const Tuple& c, const Tuple& d) {
+  assert(c.size() == d.size());
+  if (c.empty()) return false;  // merging nothing is always satisfiable
+  UnionFind uf;
+  for (size_t i = 0; i < c.size(); ++i) uf.Union(c[i], d[i]);
+  const std::vector<Value>& vals = uf.items();
+  for (size_t i = 0; i < vals.size(); ++i) {
+    for (size_t j = i + 1; j < vals.size(); ++j) {
+      if (lb.AreDistinct(vals[i], vals[j]) && uf.Connected(vals[i], vals[j])) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool AlphaHolds(const CwDatabase& lb, PredId source, const Tuple& args) {
+  for (const Tuple& d : lb.facts(source).tuples()) {
+    if (!Disagree(lb, args, d)) return false;
+  }
+  return true;
+}
+
+bool ApproxProvider::Contains(PredId pred, const Tuple& args) const {
+  if (pred == ne_) {
+    assert(args.size() == 2);
+    return lb_->AreDistinct(args[0], args[1]);
+  }
+  auto it = alphas_.find(pred);
+  assert(it != alphas_.end());
+  return AlphaHolds(*lb_, it->second, args);
+}
+
+}  // namespace lqdb

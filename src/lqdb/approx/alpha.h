@@ -1,0 +1,91 @@
+#ifndef LQDB_APPROX_ALPHA_H_
+#define LQDB_APPROX_ALPHA_H_
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "lqdb/cwdb/cw_database.h"
+#include "lqdb/eval/evaluator.h"
+#include "lqdb/logic/formula.h"
+#include "lqdb/logic/vocabulary.h"
+
+namespace lqdb {
+
+/// Produces the formula asserting that terms `s`, `t` are related by the
+/// (symmetric) edge relation being abstracted — used to splice the graph
+/// `G_{x,y}` of Lemma 10 into the connectivity skeleton.
+using EdgeFormulaFn = std::function<FormulaPtr(Term s, Term t)>;
+
+/// Builds a first-order formula expressing "`u` and `v` are connected by a
+/// path of length at most `m`" with a *single* occurrence of the edge
+/// formula — the repeated-squaring construction behind the Fact cited in
+/// Lemma 10 ([St77]); the AST has O(log m) nodes:
+///
+///   conn_1(u, v)  = u = v ∨ edge(u, v)
+///   conn_2t(u, v) = ∃z ∀p ∀q (((p=u ∧ q=z) ∨ (p=z ∧ q=v)) → conn_t(p, q))
+///
+/// Fresh quantified variables are interned into `vocab` at each level.
+FormulaPtr BuildConnectivity(Vocabulary* vocab, int m, Term u, Term v,
+                             const EdgeFormulaFn& edge);
+
+/// Builds the Lemma 10 disagreement formula `α_P(x1, ..., xk)`:
+///
+///   α_P(x) = ∀y ( P(y) → ∃u ∃v (NE(u, v) ∧ γ_{x,y}(u, v)) )
+///
+/// where `γ_{x,y}(u, v)` says `u`, `v` are connected in the graph `G_{x,y}`
+/// with edges `{xi, yi}`. `I` satisfies `α_P(c)` iff `c` *disagrees* with
+/// every `d ∈ I(P)` — i.e. `c` is provably not in `P`. `pred` may also be a
+/// second-order quantified predicate variable (Lemma 10's "if P is not in
+/// L" case); the evaluator then resolves the inner `P(y)` atom against the
+/// current second-order binding.
+///
+/// The returned formula's free variables are exactly `xs` (size = arity of
+/// `pred`) and its size is O(k log k).
+FormulaPtr BuildAlpha(Vocabulary* vocab, PredId pred, PredId ne,
+                      const std::vector<VarId>& xs);
+
+/// Semantic form of Lemma 10: `c` and `d` disagree with respect to the
+/// uniqueness axioms of `lb` iff `Unique(T) ∧ c = d` is unsatisfiable —
+/// decided by merging `ci ~ di` (union-find over `G_{c,d}`) and looking for
+/// a uniqueness pair inside one equivalence class. O(k²) per call.
+bool Disagree(const CwDatabase& lb, const Tuple& c, const Tuple& d);
+
+/// Decides `α_P(args)` semantically: `args` disagrees with every stored
+/// fact of `source` — the polynomial-time "treat α_P as if it were atomic"
+/// evaluation from the proof of Theorem 14.
+bool AlphaHolds(const CwDatabase& lb, PredId source, const Tuple& args);
+
+/// Virtual-relation provider backing the approximate evaluator: answers
+///   - `NE(a, b)` via the stored uniqueness axioms (virtual NE, §5 closing
+///     remark), and
+///   - `α_P(args)` via `AlphaHolds` for each registered alpha predicate.
+///
+/// Precondition: attached to databases whose domain values are constant ids
+/// of `lb` (true for Ph₂).
+class ApproxProvider : public VirtualRelationProvider {
+ public:
+  ApproxProvider(const CwDatabase* lb, PredId ne) : lb_(lb), ne_(ne) {}
+
+  /// Registers `alpha_pred` as the disagreement predicate of `source`.
+  void RegisterAlpha(PredId alpha_pred, PredId source) {
+    alphas_[alpha_pred] = source;
+  }
+
+  bool Provides(PredId pred) const override {
+    return pred == ne_ || alphas_.count(pred) > 0;
+  }
+
+  bool Contains(PredId pred, const Tuple& args) const override;
+
+  const std::map<PredId, PredId>& alphas() const { return alphas_; }
+
+ private:
+  const CwDatabase* lb_;
+  PredId ne_;
+  std::map<PredId, PredId> alphas_;  // alpha pred -> source pred
+};
+
+}  // namespace lqdb
+
+#endif  // LQDB_APPROX_ALPHA_H_

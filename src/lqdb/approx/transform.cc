@@ -1,0 +1,138 @@
+#include "lqdb/approx/transform.h"
+
+#include <string>
+
+#include "lqdb/approx/alpha.h"
+#include "lqdb/logic/nnf.h"
+#include "lqdb/logic/substitute.h"
+
+namespace lqdb {
+
+namespace {
+
+bool MentionsPredicate(const FormulaPtr& f, PredId pred) {
+  if (f->kind() == FormulaKind::kAtom && f->pred() == pred) return true;
+  for (const auto& c : f->children()) {
+    if (MentionsPredicate(c, pred)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<TransformedQuery> QueryTransformer::Transform(
+    const Query& query, const TransformOptions& options) {
+  if (MentionsPredicate(query.body(), ne_)) {
+    return Status::InvalidArgument(
+        "queries must be over L; 'NE' belongs to the extended language L'");
+  }
+  FormulaPtr nnf = ToNnf(query.body());
+  std::map<PredId, PredId> alpha_preds;
+  LQDB_ASSIGN_OR_RETURN(FormulaPtr body,
+                        Rewrite(nnf, options.alpha_mode, &alpha_preds));
+  LQDB_ASSIGN_OR_RETURN(Query transformed,
+                        Query::Make(query.head(), std::move(body)));
+  return TransformedQuery{std::move(transformed), std::move(alpha_preds)};
+}
+
+Result<FormulaPtr> QueryTransformer::Rewrite(
+    const FormulaPtr& f, AlphaMode mode,
+    std::map<PredId, PredId>* alpha_preds) {
+  switch (f->kind()) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+    case FormulaKind::kEquals:
+    case FormulaKind::kAtom:
+      return f;
+    case FormulaKind::kNot: {
+      const FormulaPtr& inner = f->child();
+      if (inner->kind() == FormulaKind::kEquals) {
+        // ¬(t1 = t2)  →  NE(t1, t2).
+        return Formula::Atom(ne_, inner->terms());
+      }
+      if (inner->kind() == FormulaKind::kAtom) {
+        return RewriteNegatedAtom(inner, mode, alpha_preds);
+      }
+      return Status::Internal(
+          "negation above a non-atom survived NNF conversion");
+    }
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr: {
+      std::vector<FormulaPtr> parts;
+      parts.reserve(f->num_children());
+      for (const auto& c : f->children()) {
+        LQDB_ASSIGN_OR_RETURN(FormulaPtr part, Rewrite(c, mode, alpha_preds));
+        parts.push_back(std::move(part));
+      }
+      return f->kind() == FormulaKind::kAnd ? Formula::And(std::move(parts))
+                                            : Formula::Or(std::move(parts));
+    }
+    case FormulaKind::kExists:
+    case FormulaKind::kForall: {
+      LQDB_ASSIGN_OR_RETURN(FormulaPtr body,
+                            Rewrite(f->child(), mode, alpha_preds));
+      return f->kind() == FormulaKind::kExists
+                 ? Formula::Exists(f->var(), std::move(body))
+                 : Formula::Forall(f->var(), std::move(body));
+    }
+    case FormulaKind::kExistsPred:
+    case FormulaKind::kForallPred: {
+      LQDB_ASSIGN_OR_RETURN(FormulaPtr body,
+                            Rewrite(f->child(), mode, alpha_preds));
+      return f->kind() == FormulaKind::kExistsPred
+                 ? Formula::ExistsPred(f->pred(), std::move(body))
+                 : Formula::ForallPred(f->pred(), std::move(body));
+    }
+    case FormulaKind::kImplies:
+    case FormulaKind::kIff:
+      return Status::Internal("implication survived NNF conversion");
+  }
+  return Status::Internal("unknown formula kind");
+}
+
+Result<FormulaPtr> QueryTransformer::RewriteNegatedAtom(
+    const FormulaPtr& atom, AlphaMode mode,
+    std::map<PredId, PredId>* alpha_preds) {
+  const PredId pred = atom->pred();
+  if (pred == ne_) {
+    return Status::InvalidArgument("query must not mention NE");
+  }
+  if (mode == AlphaMode::kVirtual) {
+    if (vocab_->IsAuxiliary(pred)) {
+      return Status::Unimplemented(
+          "virtual alpha atoms are only available for stored predicates; "
+          "use AlphaMode::kSyntactic for negated quantified predicate "
+          "variables like '" +
+          vocab_->PredicateName(pred) + "'");
+    }
+    const std::string alpha_name =
+        "__alpha_" + vocab_->PredicateName(pred);
+    LQDB_ASSIGN_OR_RETURN(
+        PredId alpha, vocab_->AddAuxiliaryPredicate(
+                          alpha_name, vocab_->PredicateArity(pred)));
+    alpha_preds->emplace(alpha, pred);
+    return Formula::Atom(alpha, atom->terms());
+  }
+
+  // Syntactic mode: splice in the Lemma 10 formula, instantiated at the
+  // atom's argument terms.
+  auto it = alpha_cache_.find(pred);
+  if (it == alpha_cache_.end()) {
+    std::vector<VarId> xs;
+    const int arity = vocab_->PredicateArity(pred);
+    for (int i = 0; i < arity; ++i) {
+      xs.push_back(vocab_->FreshVariable("ax" + std::to_string(i + 1)));
+    }
+    FormulaPtr alpha = BuildAlpha(vocab_, pred, ne_, xs);
+    alpha_args_[pred] = std::move(xs);
+    it = alpha_cache_.emplace(pred, std::move(alpha)).first;
+  }
+  Substitution subst;
+  const std::vector<VarId>& xs = alpha_args_[pred];
+  for (size_t i = 0; i < xs.size(); ++i) {
+    subst.insert_or_assign(xs[i], atom->terms()[i]);
+  }
+  return Substitute(vocab_, it->second, subst);
+}
+
+}  // namespace lqdb

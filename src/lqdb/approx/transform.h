@@ -1,0 +1,70 @@
+#ifndef LQDB_APPROX_TRANSFORM_H_
+#define LQDB_APPROX_TRANSFORM_H_
+
+#include <map>
+
+#include "lqdb/logic/query.h"
+#include "lqdb/logic/vocabulary.h"
+#include "lqdb/util/result.h"
+
+namespace lqdb {
+
+/// How negated atoms `¬P(t)` are lowered in the §5 transform.
+enum class AlphaMode {
+  /// Replace by a virtual atom `α_P(t)` decided in polynomial time by
+  /// `ApproxProvider` ("treating the subformulas α_P(x) as if they were
+  /// atomic formulas", proof of Theorem 14). Not applicable when `P` is a
+  /// quantified predicate variable (its extension lives in the evaluator).
+  kVirtual,
+  /// Splice in the full O(k log k) first-order formula of Lemma 10. Works
+  /// for every predicate, including second-order quantified ones, at the
+  /// cost of evaluating a doubly-quantified connectivity formula.
+  kSyntactic,
+};
+
+struct TransformOptions {
+  AlphaMode alpha_mode = AlphaMode::kVirtual;
+};
+
+/// The transformed query `Q̂` plus the bookkeeping the evaluator needs.
+struct TransformedQuery {
+  Query query;
+  /// Virtual alpha atoms introduced (alpha predicate → source predicate);
+  /// empty in syntactic mode.
+  std::map<PredId, PredId> alpha_preds;
+};
+
+/// Implements the query conversion of §5: push all negations down to the
+/// atomic formulas (NNF), then replace every `¬(t1 = t2)` by `NE(t1, t2)`
+/// and every `¬P(t)` by the disagreement formula `α_P(t)`. Positive
+/// structure, quantifiers (first- and second-order) and the head are left
+/// untouched; if `Q` is first-order, so is `Q̂` (Lemma 10).
+class QueryTransformer {
+ public:
+  /// `vocab` must be the vocabulary `L'` containing the `NE` predicate
+  /// (see `MakePh2`); new alpha predicates / variables are interned into it.
+  QueryTransformer(Vocabulary* vocab, PredId ne) : vocab_(vocab), ne_(ne) {}
+
+  /// Transforms `query`; fails if the query already mentions `NE` (queries
+  /// are formulas of `L`, not `L'`).
+  Result<TransformedQuery> Transform(const Query& query,
+                                     const TransformOptions& options = {});
+
+ private:
+  Result<FormulaPtr> Rewrite(const FormulaPtr& f, AlphaMode mode,
+                             std::map<PredId, PredId>* alpha_preds);
+  Result<FormulaPtr> RewriteNegatedAtom(const FormulaPtr& atom,
+                                        AlphaMode mode,
+                                        std::map<PredId, PredId>* alpha_preds);
+
+  Vocabulary* vocab_;
+  PredId ne_;
+  /// Cache of syntactic α_P bodies keyed by predicate, with canonical free
+  /// variables `alpha_args_[pred]` (substituted per occurrence).
+  std::map<PredId, FormulaPtr> alpha_cache_;
+  std::map<PredId, std::vector<VarId>> alpha_args_;
+};
+
+}  // namespace lqdb
+
+#endif  // LQDB_APPROX_TRANSFORM_H_

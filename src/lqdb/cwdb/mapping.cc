@@ -1,0 +1,146 @@
+#include "lqdb/cwdb/mapping.h"
+
+#include <cassert>
+#include <numeric>
+
+namespace lqdb {
+
+ConstMapping IdentityMapping(size_t n) {
+  ConstMapping h(n);
+  std::iota(h.begin(), h.end(), 0);
+  return h;
+}
+
+bool RespectsUniqueness(const CwDatabase& lb, const ConstMapping& h) {
+  assert(h.size() == lb.num_constants());
+  for (const auto& [a, b] : lb.AllDistinctPairs()) {
+    if (h[a] == h[b]) return false;
+  }
+  return true;
+}
+
+PhysicalDatabase ApplyMapping(const CwDatabase& lb, const ConstMapping& h) {
+  assert(h.size() == lb.num_constants());
+  PhysicalDatabase db(&lb.vocab());
+  for (ConstId c = 0; c < h.size(); ++c) db.AddDomainValue(h[c]);
+  for (ConstId c = 0; c < h.size(); ++c) {
+    Status s = db.SetConstant(c, h[c]);
+    assert(s.ok());
+    (void)s;
+  }
+  for (PredId p : lb.PredicatesWithFacts()) {
+    for (const Tuple& t : lb.facts(p).tuples()) {
+      Tuple image(t.size());
+      for (size_t i = 0; i < t.size(); ++i) image[i] = h[t[i]];
+      Status s = db.AddTuple(p, std::move(image));
+      assert(s.ok());
+      (void)s;
+    }
+  }
+  return db;
+}
+
+namespace {
+
+/// Backtracking enumeration of NE-avoiding partitions via restricted-growth
+/// assignment: constant i joins an existing block (when no member conflicts)
+/// or opens a new one.
+class PartitionWalker {
+ public:
+  PartitionWalker(const CwDatabase& lb, const MappingVisitor* visit)
+      : lb_(lb), visit_(visit), n_(lb.num_constants()), h_(n_, 0) {}
+
+  uint64_t Run() {
+    if (n_ == 0) return 0;
+    Recurse(0);
+    return count_;
+  }
+
+ private:
+  /// Returns false when the walk should stop.
+  bool Recurse(ConstId i) {
+    if (i == n_) {
+      ++count_;
+      if (visit_ != nullptr && !(*visit_)(h_)) return false;
+      return true;
+    }
+    // Index-based iteration: deeper recursion levels push/pop blocks on the
+    // same vector, so references and iterators into it do not survive the
+    // recursive call. The push/pop pairs are balanced, so `blocks_[bi]` is
+    // valid again once the call returns.
+    const size_t num_existing = blocks_.size();
+    for (size_t bi = 0; bi < num_existing; ++bi) {
+      bool conflict = false;
+      for (ConstId member : blocks_[bi]) {
+        if (lb_.AreDistinct(member, i)) {
+          conflict = true;
+          break;
+        }
+      }
+      if (conflict) continue;
+      blocks_[bi].push_back(i);
+      h_[i] = blocks_[bi][0];
+      bool cont = Recurse(i + 1);
+      blocks_[bi].pop_back();
+      if (!cont) return false;
+    }
+    blocks_.push_back({i});
+    h_[i] = i;
+    bool cont = Recurse(i + 1);
+    blocks_.pop_back();
+    return cont;
+  }
+
+  const CwDatabase& lb_;
+  const MappingVisitor* visit_;
+  const ConstId n_;
+  ConstMapping h_;
+  std::vector<std::vector<ConstId>> blocks_;
+  uint64_t count_ = 0;
+};
+
+}  // namespace
+
+uint64_t ForEachCanonicalMapping(const CwDatabase& lb,
+                                 const MappingVisitor& visit) {
+  PartitionWalker walker(lb, &visit);
+  return walker.Run();
+}
+
+uint64_t CountCanonicalMappings(const CwDatabase& lb) {
+  PartitionWalker walker(lb, nullptr);
+  return walker.Run();
+}
+
+uint64_t ForEachMapping(const CwDatabase& lb, const MappingVisitor& visit) {
+  const size_t n = lb.num_constants();
+  if (n == 0) return 0;
+  // Hoist the uniqueness pairs out of the |C|^|C| loop.
+  const std::vector<std::pair<ConstId, ConstId>> pairs =
+      lb.AllDistinctPairs();
+  ConstMapping h(n, 0);
+  uint64_t visited = 0;
+  while (true) {
+    bool respects = true;
+    for (const auto& [a, b] : pairs) {
+      if (h[a] == h[b]) {
+        respects = false;
+        break;
+      }
+    }
+    if (respects) {
+      ++visited;
+      if (!visit(h)) return visited;
+    }
+    // Odometer increment over C^C.
+    size_t pos = 0;
+    while (pos < n && ++h[pos] == n) {
+      h[pos] = 0;
+      ++pos;
+    }
+    if (pos == n) break;
+  }
+  return visited;
+}
+
+}  // namespace lqdb

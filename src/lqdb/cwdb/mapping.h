@@ -1,0 +1,56 @@
+#ifndef LQDB_CWDB_MAPPING_H_
+#define LQDB_CWDB_MAPPING_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "lqdb/cwdb/cw_database.h"
+#include "lqdb/relational/database.h"
+
+namespace lqdb {
+
+/// A mapping `h : C → C`, stored as `h[c] = image of constant c`.
+using ConstMapping = std::vector<ConstId>;
+
+/// The identity mapping on `n` constants.
+ConstMapping IdentityMapping(size_t n);
+
+/// True iff `h` *respects* the theory of `lb` (§3.1): `h(ci) != h(cj)` for
+/// every uniqueness axiom `¬(ci = cj)`.
+bool RespectsUniqueness(const CwDatabase& lb, const ConstMapping& h);
+
+/// Builds `h(Ph₁(LB))` (§3.1): domain `h(C)`, constants interpreted by
+/// `I(c) = h(c)`, and each relation the `h`-image of the facts.
+PhysicalDatabase ApplyMapping(const CwDatabase& lb, const ConstMapping& h);
+
+/// Visitor over mappings; return false to stop the enumeration.
+using MappingVisitor = std::function<bool(const ConstMapping&)>;
+
+/// Enumerates one canonical representative per *kernel partition* of the
+/// mappings `h : C → C` that respect the uniqueness axioms. Two mappings
+/// with the same kernel (the same "which constants are merged" partition)
+/// produce isomorphic image databases, and first-/second-order satisfaction
+/// is isomorphism-invariant, so Theorem 1 only needs one representative per
+/// NE-avoiding partition. The canonical representative maps every constant
+/// to the least constant of its block.
+///
+/// Returns the number of mappings visited (complete count when no visitor
+/// stopped the walk).
+uint64_t ForEachCanonicalMapping(const CwDatabase& lb,
+                                 const MappingVisitor& visit);
+
+/// Enumerates *all* `|C|^|C|` mappings, filtering to those respecting the
+/// uniqueness axioms — the literal Theorem 1 quantification, exponentially
+/// redundant. Kept for cross-validation (tests) and the E7 ablation bench.
+/// Returns the number of respecting mappings visited.
+uint64_t ForEachMapping(const CwDatabase& lb, const MappingVisitor& visit);
+
+/// Number of NE-avoiding partitions (canonical mappings) without visiting
+/// the image databases. With no uniqueness axioms this is the Bell number
+/// B(|C|).
+uint64_t CountCanonicalMappings(const CwDatabase& lb);
+
+}  // namespace lqdb
+
+#endif  // LQDB_CWDB_MAPPING_H_

@@ -1,0 +1,32 @@
+#include "lqdb/cwdb/ph.h"
+
+namespace lqdb {
+
+PhysicalDatabase MakePh1(const CwDatabase& lb) {
+  PhysicalDatabase db(&lb.vocab());
+  db.InterpretConstantsAsThemselves();
+  for (PredId p : lb.PredicatesWithFacts()) {
+    for (const Tuple& t : lb.facts(p).tuples()) {
+      Status s = db.AddTuple(p, t);
+      (void)s;  // facts were validated on insertion into the CwDatabase
+    }
+  }
+  return db;
+}
+
+Result<Ph2> MakePh2(CwDatabase* lb, const Ph2Options& options) {
+  LQDB_RETURN_IF_ERROR(lb->Validate());
+  LQDB_ASSIGN_OR_RETURN(
+      PredId ne, lb->mutable_vocab()->AddAuxiliaryPredicate(
+                     kNePredicateName, 2));
+  PhysicalDatabase db = MakePh1(*lb);
+  if (options.materialize_ne) {
+    for (const auto& [a, b] : lb->AllDistinctPairs()) {
+      LQDB_RETURN_IF_ERROR(db.AddTuple(ne, {a, b}));
+      LQDB_RETURN_IF_ERROR(db.AddTuple(ne, {b, a}));
+    }
+  }
+  return Ph2{std::move(db), ne};
+}
+
+}  // namespace lqdb

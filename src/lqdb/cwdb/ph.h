@@ -1,0 +1,63 @@
+#ifndef LQDB_CWDB_PH_H_
+#define LQDB_CWDB_PH_H_
+
+#include "lqdb/cwdb/cw_database.h"
+#include "lqdb/eval/evaluator.h"
+#include "lqdb/relational/database.h"
+#include "lqdb/util/result.h"
+
+namespace lqdb {
+
+/// `Ph₁(LB)` (§3.1): the physical database whose domain is the constant set
+/// `C`, whose constants are interpreted as themselves, and whose relations
+/// hold exactly the atomic facts. The returned database borrows the
+/// database's vocabulary, which must outlive it (and must not be moved).
+PhysicalDatabase MakePh1(const CwDatabase& lb);
+
+/// Name of the inequality predicate added by `MakePh2`.
+inline constexpr const char* kNePredicateName = "NE";
+
+struct Ph2Options {
+  /// When true, the `NE` relation is materialized with every uniqueness
+  /// pair in both orientations — up to quadratic in |C|. When false, the
+  /// relation is left empty and membership must be answered by a
+  /// `VirtualNeProvider` (the §5 closing-remark implementation).
+  bool materialize_ne = true;
+};
+
+struct Ph2 {
+  PhysicalDatabase db;
+  PredId ne;  ///< Id of the `NE` predicate in the (extended) vocabulary.
+};
+
+/// `Ph₂(LB)` (§3.2/§5): `Ph₁` over the vocabulary `L'` extended with the
+/// binary predicate `NE` that records the uniqueness axioms. Mutates the
+/// vocabulary of `lb` (declaring `NE` as an auxiliary predicate).
+Result<Ph2> MakePh2(CwDatabase* lb, const Ph2Options& options = {});
+
+/// Decides `NE(x, y)` directly from the stored known/unknown partition and
+/// explicit pairs, in O(log #explicit) per probe and O(U + NE') storage:
+///
+///   NE(x, y) ≡ NE'(x, y) ∨ (¬U(x) ∧ ¬U(y) ∧ ¬(x = y))
+///
+/// Precondition: attached to databases whose domain values are the constant
+/// ids of `lb` (true for `Ph₂` and all mapping images).
+class VirtualNeProvider : public VirtualRelationProvider {
+ public:
+  VirtualNeProvider(const CwDatabase* lb, PredId ne) : lb_(lb), ne_(ne) {}
+
+  bool Provides(PredId pred) const override { return pred == ne_; }
+
+  bool Contains(PredId pred, const Tuple& args) const override {
+    (void)pred;
+    return lb_->AreDistinct(args[0], args[1]);
+  }
+
+ private:
+  const CwDatabase* lb_;
+  PredId ne_;
+};
+
+}  // namespace lqdb
+
+#endif  // LQDB_CWDB_PH_H_

@@ -1,0 +1,279 @@
+#include "lqdb/cwdb/simulation.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lqdb/logic/substitute.h"
+
+namespace lqdb {
+
+namespace {
+
+/// ρ = ρ1 ∧ ρ2 ∧ ρ3 (the paper's p): H is total, functional, and maps
+/// NE-related sources to distinct targets.
+FormulaPtr BuildRho(Vocabulary* vocab, PredId h, PredId ne) {
+  VarId x = vocab->FreshVariable("sx");
+  VarId y = vocab->FreshVariable("sy");
+  VarId z = vocab->FreshVariable("sz");
+  VarId u = vocab->FreshVariable("su");
+  VarId v = vocab->FreshVariable("sv");
+  Term tx = Term::Variable(x), ty = Term::Variable(y),
+       tz = Term::Variable(z), tu = Term::Variable(u),
+       tv = Term::Variable(v);
+
+  // ρ1: ∀x ∃y H(x, y).
+  FormulaPtr rho1 =
+      Formula::Forall(x, Formula::Exists(y, Formula::Atom(h, {tx, ty})));
+  // ρ2: ∀x y z (H(x, y) ∧ H(x, z) → y = z).
+  FormulaPtr rho2 = Formula::Forall(
+      {x, y, z},
+      Formula::Implies(Formula::And(Formula::Atom(h, {tx, ty}),
+                                    Formula::Atom(h, {tx, tz})),
+                       Formula::Equals(ty, tz)));
+  // ρ3: ∀x y u v (NE(x, y) ∧ H(x, u) ∧ H(y, v) → ¬(u = v)).
+  FormulaPtr rho3 = Formula::Forall(
+      {x, y, u, v},
+      Formula::Implies(
+          Formula::And({Formula::Atom(ne, {tx, ty}),
+                        Formula::Atom(h, {tx, tu}),
+                        Formula::Atom(h, {ty, tv})}),
+          Formula::Not(Formula::Equals(tu, tv))));
+  return Formula::And({std::move(rho1), std::move(rho2), std::move(rho3)});
+}
+
+/// θᵢ: P'ᵢ is exactly the H-image of Pᵢ.
+FormulaPtr BuildTheta(Vocabulary* vocab, PredId h, PredId pred,
+                      PredId primed) {
+  const int n = vocab->PredicateArity(pred);
+  std::vector<VarId> ys, us;
+  TermList y_terms, u_terms;
+  for (int i = 0; i < n; ++i) {
+    VarId y = vocab->FreshVariable("ty" + std::to_string(i + 1));
+    VarId u = vocab->FreshVariable("tu" + std::to_string(i + 1));
+    ys.push_back(y);
+    us.push_back(u);
+    y_terms.push_back(Term::Variable(y));
+    u_terms.push_back(Term::Variable(u));
+  }
+  std::vector<FormulaPtr> h_links;
+  for (int i = 0; i < n; ++i) {
+    h_links.push_back(Formula::Atom(h, {y_terms[i], u_terms[i]}));
+  }
+
+  // Forward: ∀y ∀u (P(y) ∧ H(y1,u1) ∧ ... → P'(u)).
+  std::vector<FormulaPtr> fwd_premises = h_links;
+  fwd_premises.insert(fwd_premises.begin(), Formula::Atom(pred, y_terms));
+  std::vector<VarId> all_vars = ys;
+  all_vars.insert(all_vars.end(), us.begin(), us.end());
+  FormulaPtr forward = Formula::Forall(
+      all_vars, Formula::Implies(Formula::And(std::move(fwd_premises)),
+                                 Formula::Atom(primed, u_terms)));
+
+  // Backward: ∀u (P'(u) → ∃y (P(y) ∧ H(y1,u1) ∧ ...)).
+  std::vector<FormulaPtr> bwd_body = h_links;
+  bwd_body.insert(bwd_body.begin(), Formula::Atom(pred, y_terms));
+  FormulaPtr backward = Formula::Forall(
+      us, Formula::Implies(
+              Formula::Atom(primed, u_terms),
+              Formula::Exists(ys, Formula::And(std::move(bwd_body)))));
+  return Formula::And(std::move(forward), std::move(backward));
+}
+
+/// Relativizes every first-order quantifier of `f` to the image of `h`:
+/// ∀y χ becomes ∀y (∃s H(s, y) → χ) and ∃y χ becomes ∃y (∃s H(s, y) ∧ χ).
+/// This is what makes evaluating φ' over Ph₂ (domain C) agree with
+/// evaluating φ over h(Ph₁) (domain h(C)) — see the header for why the
+/// paper's bare substitution needs this.
+FormulaPtr RelativizeToImage(Vocabulary* vocab, PredId h,
+                             const FormulaPtr& f) {
+  switch (f->kind()) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+    case FormulaKind::kEquals:
+    case FormulaKind::kAtom:
+      return f;
+    case FormulaKind::kNot:
+      return Formula::Not(RelativizeToImage(vocab, h, f->child()));
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr: {
+      std::vector<FormulaPtr> parts;
+      parts.reserve(f->num_children());
+      for (const auto& c : f->children()) {
+        parts.push_back(RelativizeToImage(vocab, h, c));
+      }
+      return f->kind() == FormulaKind::kAnd ? Formula::And(std::move(parts))
+                                            : Formula::Or(std::move(parts));
+    }
+    case FormulaKind::kImplies:
+      return Formula::Implies(RelativizeToImage(vocab, h, f->child(0)),
+                              RelativizeToImage(vocab, h, f->child(1)));
+    case FormulaKind::kIff:
+      return Formula::Iff(RelativizeToImage(vocab, h, f->child(0)),
+                          RelativizeToImage(vocab, h, f->child(1)));
+    case FormulaKind::kExists:
+    case FormulaKind::kForall: {
+      FormulaPtr body = RelativizeToImage(vocab, h, f->child());
+      VarId s = vocab->FreshVariable("src");
+      FormulaPtr in_image = Formula::Exists(
+          s, Formula::Atom(h, {Term::Variable(s),
+                               Term::Variable(f->var())}));
+      if (f->kind() == FormulaKind::kExists) {
+        return Formula::Exists(
+            f->var(), Formula::And(std::move(in_image), std::move(body)));
+      }
+      return Formula::Forall(
+          f->var(),
+          Formula::Implies(std::move(in_image), std::move(body)));
+    }
+    case FormulaKind::kExistsPred:
+      return Formula::ExistsPred(f->pred(),
+                                 RelativizeToImage(vocab, h, f->child()));
+    case FormulaKind::kForallPred:
+      return Formula::ForallPred(f->pred(),
+                                 RelativizeToImage(vocab, h, f->child()));
+  }
+  return f;
+}
+
+/// Replaces every occurrence of a mapped constant by its image variable.
+FormulaPtr ReplaceConstantTerms(const FormulaPtr& f,
+                                const std::map<ConstId, VarId>& map) {
+  auto map_term = [&map](const Term& t) {
+    if (t.is_constant()) {
+      auto it = map.find(t.constant());
+      if (it != map.end()) return Term::Variable(it->second);
+    }
+    return t;
+  };
+  switch (f->kind()) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+      return f;
+    case FormulaKind::kEquals:
+      return Formula::Equals(map_term(f->terms()[0]),
+                             map_term(f->terms()[1]));
+    case FormulaKind::kAtom: {
+      TermList args;
+      args.reserve(f->terms().size());
+      for (const Term& t : f->terms()) args.push_back(map_term(t));
+      return Formula::Atom(f->pred(), std::move(args));
+    }
+    default: {
+      std::vector<FormulaPtr> parts;
+      parts.reserve(f->num_children());
+      for (const auto& c : f->children()) {
+        parts.push_back(ReplaceConstantTerms(c, map));
+      }
+      switch (f->kind()) {
+        case FormulaKind::kNot:
+          return Formula::Not(std::move(parts[0]));
+        case FormulaKind::kAnd:
+          return Formula::And(std::move(parts));
+        case FormulaKind::kOr:
+          return Formula::Or(std::move(parts));
+        case FormulaKind::kImplies:
+          return Formula::Implies(std::move(parts[0]), std::move(parts[1]));
+        case FormulaKind::kIff:
+          return Formula::Iff(std::move(parts[0]), std::move(parts[1]));
+        case FormulaKind::kExists:
+          return Formula::Exists(f->var(), std::move(parts[0]));
+        case FormulaKind::kForall:
+          return Formula::Forall(f->var(), std::move(parts[0]));
+        case FormulaKind::kExistsPred:
+          return Formula::ExistsPred(f->pred(), std::move(parts[0]));
+        case FormulaKind::kForallPred:
+          return Formula::ForallPred(f->pred(), std::move(parts[0]));
+        default:
+          return f;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Result<PreciseSimulation> BuildPreciseSimulation(CwDatabase* lb, PredId ne,
+                                                 const Query& query) {
+  Vocabulary* vocab = lb->mutable_vocab();
+  if (ne >= vocab->num_predicates() ||
+      vocab->PredicateArity(ne) != 2) {
+    return Status::InvalidArgument("ne must be the binary NE predicate");
+  }
+
+  // The predicates of L occurring (free) in the query body get primed
+  // copies; second-order quantified predicate variables keep their own
+  // quantifiers and are not remapped.
+  std::map<PredId, PredId> primed;
+  for (PredId p : FreePredicates(query.body())) {
+    if (p == ne) {
+      return Status::InvalidArgument(
+          "queries must be over L; 'NE' belongs to L'");
+    }
+    if (vocab->IsAuxiliary(p)) {
+      return Status::InvalidArgument(
+          "query mentions auxiliary predicate '" + vocab->PredicateName(p) +
+          "' outside a second-order binder");
+    }
+    LQDB_ASSIGN_OR_RETURN(
+        PredId pp, vocab->AddAuxiliaryPredicate(
+                       "__primed_" + vocab->PredicateName(p),
+                       vocab->PredicateArity(p)));
+    primed.emplace(p, pp);
+  }
+  LQDB_ASSIGN_OR_RETURN(PredId h, vocab->AddAuxiliaryPredicate("__H", 2));
+
+  FormulaPtr rho = BuildRho(vocab, h, ne);
+  std::vector<FormulaPtr> thetas;
+  for (const auto& [p, pp] : primed) {
+    thetas.push_back(BuildTheta(vocab, h, p, pp));
+  }
+  FormulaPtr theta = Formula::And(std::move(thetas));
+
+  // ψ = ∃x1..xk ∃w_c... (H(z1,x1) ∧ ... ∧ H(c, w_c) ∧ ... ∧ φ''); the
+  // query's own head variables serve as the z's. Everything φ talks about
+  // — free variables *and constants* — is routed through H, and its
+  // quantifiers are relativized to H's image, so that φ'' over Ph₂
+  // evaluates exactly like φ over h(Ph₁) (see the header).
+  FormulaPtr phi_primed = ReplacePredicates(query.body(), primed);
+  std::vector<VarId> xs;
+  std::vector<FormulaPtr> links;
+  Substitution head_to_image;
+  for (size_t i = 0; i < query.arity(); ++i) {
+    VarId x = vocab->FreshVariable("img" + std::to_string(i + 1));
+    xs.push_back(x);
+    links.push_back(Formula::Atom(
+        h, {Term::Variable(query.head()[i]), Term::Variable(x)}));
+    head_to_image.insert_or_assign(query.head()[i], Term::Variable(x));
+  }
+  std::map<ConstId, VarId> const_to_image;
+  for (ConstId c : ConstantsOf(phi_primed)) {
+    VarId w = vocab->FreshVariable("imgc");
+    const_to_image.emplace(c, w);
+    xs.push_back(w);
+    links.push_back(
+        Formula::Atom(h, {Term::Constant(c), Term::Variable(w)}));
+  }
+  FormulaPtr phi_at_image = Substitute(
+      vocab, ReplaceConstantTerms(phi_primed, const_to_image),
+      head_to_image);
+  phi_at_image = RelativizeToImage(vocab, h, phi_at_image);
+  links.push_back(std::move(phi_at_image));
+  FormulaPtr psi = Formula::Exists(xs, Formula::And(std::move(links)));
+
+  FormulaPtr matrix = Formula::Implies(
+      Formula::And(std::move(rho), std::move(theta)), std::move(psi));
+  std::vector<PredId> quantified;
+  quantified.push_back(h);
+  for (const auto& [p, pp] : primed) {
+    (void)p;
+    quantified.push_back(pp);
+  }
+  FormulaPtr body = Formula::ForallPred(quantified, std::move(matrix));
+
+  LQDB_ASSIGN_OR_RETURN(Query q_prime,
+                        Query::Make(query.head(), std::move(body)));
+  return PreciseSimulation{std::move(q_prime)};
+}
+
+}  // namespace lqdb

@@ -1,0 +1,103 @@
+#include "lqdb/cwdb/theory.h"
+
+#include "lqdb/logic/printer.h"
+
+namespace lqdb {
+
+std::vector<FormulaPtr> Theory::AllSentences() const {
+  std::vector<FormulaPtr> out;
+  out.insert(out.end(), atomic_facts.begin(), atomic_facts.end());
+  out.insert(out.end(), uniqueness.begin(), uniqueness.end());
+  if (domain_closure != nullptr) out.push_back(domain_closure);
+  out.insert(out.end(), completion.begin(), completion.end());
+  return out;
+}
+
+Theory TheoryOf(CwDatabase* lb) {
+  Theory theory;
+  Vocabulary* vocab = lb->mutable_vocab();
+  const ConstId n = static_cast<ConstId>(vocab->num_constants());
+
+  // (1) Atomic fact axioms.
+  for (PredId p : lb->PredicatesWithFacts()) {
+    for (const Tuple& t : lb->facts(p).SortedTuples()) {
+      TermList args;
+      args.reserve(t.size());
+      for (Value v : t) args.push_back(Term::Constant(v));
+      theory.atomic_facts.push_back(Formula::Atom(p, std::move(args)));
+    }
+  }
+
+  // (2) Uniqueness axioms ¬(ci = cj).
+  for (const auto& [a, b] : lb->AllDistinctPairs()) {
+    theory.uniqueness.push_back(Formula::Not(
+        Formula::Equals(Term::Constant(a), Term::Constant(b))));
+  }
+
+  // (3) Domain closure axiom (∀x)(x = c1 ∨ ... ∨ x = cn).
+  VarId x = vocab->AddVariable("x");
+  std::vector<FormulaPtr> cases;
+  cases.reserve(n);
+  for (ConstId c = 0; c < n; ++c) {
+    cases.push_back(
+        Formula::Equals(Term::Variable(x), Term::Constant(c)));
+  }
+  theory.domain_closure = Formula::Forall(x, Formula::Or(std::move(cases)));
+
+  // (4) Completion axioms, one per schema predicate.
+  for (PredId p : vocab->SchemaPredicates()) {
+    const int arity = vocab->PredicateArity(p);
+    std::vector<VarId> xs;
+    TermList args;
+    for (int i = 0; i < arity; ++i) {
+      VarId v = vocab->AddVariable("x" + std::to_string(i + 1));
+      xs.push_back(v);
+      args.push_back(Term::Variable(v));
+    }
+    FormulaPtr head = Formula::Atom(p, args);
+    const Relation& facts = lb->facts(p);
+    FormulaPtr axiom;
+    if (facts.empty()) {
+      // (∀x)(¬P(x)).
+      axiom = Formula::Forall(xs, Formula::Not(std::move(head)));
+    } else {
+      std::vector<FormulaPtr> cases_p;
+      for (const Tuple& t : facts.SortedTuples()) {
+        std::vector<FormulaPtr> eqs;
+        for (int i = 0; i < arity; ++i) {
+          eqs.push_back(Formula::Equals(Term::Variable(xs[i]),
+                                        Term::Constant(t[i])));
+        }
+        cases_p.push_back(Formula::And(std::move(eqs)));
+      }
+      axiom = Formula::Forall(
+          xs, Formula::Implies(std::move(head),
+                               Formula::Or(std::move(cases_p))));
+    }
+    theory.completion.push_back(std::move(axiom));
+  }
+  return theory;
+}
+
+std::string PrintTheory(const Vocabulary& vocab, const Theory& theory) {
+  std::string out;
+  auto section = [&out, &vocab](const std::string& title,
+                                const std::vector<FormulaPtr>& fs) {
+    out += "-- " + title + "\n";
+    for (const auto& f : fs) {
+      out += PrintFormula(vocab, f);
+      out += "\n";
+    }
+  };
+  section("atomic fact axioms", theory.atomic_facts);
+  section("uniqueness axioms", theory.uniqueness);
+  out += "-- domain closure axiom\n";
+  if (theory.domain_closure != nullptr) {
+    out += PrintFormula(vocab, theory.domain_closure);
+    out += "\n";
+  }
+  section("completion axioms", theory.completion);
+  return out;
+}
+
+}  // namespace lqdb

@@ -1,0 +1,35 @@
+#ifndef LQDB_CWDB_THEORY_H_
+#define LQDB_CWDB_THEORY_H_
+
+#include <string>
+#include <vector>
+
+#include "lqdb/cwdb/cw_database.h"
+#include "lqdb/logic/formula.h"
+
+namespace lqdb {
+
+/// The first-order theory `T` of a CW logical database, with the five §2.2
+/// component groups made explicit. `CwDatabase` stores only facts and
+/// uniqueness axioms; this struct materializes the rest.
+struct Theory {
+  std::vector<FormulaPtr> atomic_facts;
+  std::vector<FormulaPtr> uniqueness;      ///< ¬(ci = cj) sentences.
+  FormulaPtr domain_closure;               ///< ∀x (x=c1 ∨ ... ∨ x=cn).
+  std::vector<FormulaPtr> completion;      ///< One per schema predicate.
+
+  /// All sentences of `T`, in the order fact / uniqueness / closure /
+  /// completion.
+  std::vector<FormulaPtr> AllSentences() const;
+};
+
+/// Materializes the theory of `lb`. Mutates only the vocabulary (interning
+/// the quantified variables used by the closure/completion axioms).
+Theory TheoryOf(CwDatabase* lb);
+
+/// Pretty-prints the theory one sentence per line, with group headers.
+std::string PrintTheory(const Vocabulary& vocab, const Theory& theory);
+
+}  // namespace lqdb
+
+#endif  // LQDB_CWDB_THEORY_H_

@@ -1,0 +1,25 @@
+#include "lqdb/eval/answer.h"
+
+#include <cassert>
+
+namespace lqdb {
+
+bool BooleanAnswer(const Relation& answer) {
+  assert(answer.arity() == 0);
+  return !answer.empty();
+}
+
+std::string AnswerToString(const PhysicalDatabase& db,
+                           const Relation& answer) {
+  std::string out = "{";
+  bool first = true;
+  for (const Tuple& t : answer.SortedTuples()) {
+    if (!first) out += ", ";
+    first = false;
+    out += TupleToString(t, [&db](Value v) { return db.ValueName(v); });
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace lqdb

@@ -1,0 +1,21 @@
+#ifndef LQDB_EVAL_ANSWER_H_
+#define LQDB_EVAL_ANSWER_H_
+
+#include <string>
+
+#include "lqdb/relational/database.h"
+#include "lqdb/relational/relation.h"
+
+namespace lqdb {
+
+/// Interprets an arity-0 answer relation as a Boolean: true iff it contains
+/// the empty tuple. Precondition: `answer.arity() == 0`.
+bool BooleanAnswer(const Relation& answer);
+
+/// Renders an answer relation as `{(a, b), (c, d)}` in deterministic
+/// (lexicographic) order, naming values via `db.ValueName`.
+std::string AnswerToString(const PhysicalDatabase& db, const Relation& answer);
+
+}  // namespace lqdb
+
+#endif  // LQDB_EVAL_ANSWER_H_

@@ -1,0 +1,84 @@
+#ifndef LQDB_EVAL_EVALUATOR_H_
+#define LQDB_EVAL_EVALUATOR_H_
+
+#include <map>
+#include <vector>
+
+#include "lqdb/logic/formula.h"
+#include "lqdb/logic/query.h"
+#include "lqdb/relational/database.h"
+#include "lqdb/util/result.h"
+
+namespace lqdb {
+
+/// Supplies computed (non-materialized) extensions for selected predicates.
+/// The approximation algorithm (§5) uses this for the virtual `NE` relation
+/// and for the α_P disagreement predicates of Lemma 10, which are decided in
+/// polynomial time instead of being stored (Theorem 14).
+class VirtualRelationProvider {
+ public:
+  virtual ~VirtualRelationProvider() = default;
+
+  /// True when this provider interprets `pred`.
+  virtual bool Provides(PredId pred) const = 0;
+
+  /// Membership test for a fully ground argument tuple.
+  virtual bool Contains(PredId pred, const Tuple& args) const = 0;
+};
+
+struct EvalOptions {
+  /// Upper bound on |D|^arity for a second-order quantifier: quantifying
+  /// over the subsets of a tuple space larger than this fails with
+  /// `ResourceExhausted` instead of looping for 2^|space| steps.
+  size_t max_so_tuple_space = 24;
+};
+
+/// Model-checking evaluator over a physical database, implementing the
+/// semantic notion of truth of §2.1: first-order quantifiers range over the
+/// database domain, equality is identity, and second-order quantifiers range
+/// over all relations of the appropriate arity on the domain.
+///
+/// Predicate interpretation is resolved in order: a second-order binding in
+/// scope, then the virtual provider (if any), then the stored relation
+/// (empty when absent).
+class Evaluator {
+ public:
+  explicit Evaluator(const PhysicalDatabase* db, EvalOptions options = {});
+
+  /// Attaches a provider for virtual predicates; pass nullptr to detach.
+  /// The provider must outlive the evaluator.
+  void set_virtual_provider(const VirtualRelationProvider* provider) {
+    provider_ = provider;
+  }
+
+  /// Truth of a sentence (no free variables).
+  Result<bool> Satisfies(const FormulaPtr& sentence);
+
+  /// Truth of `f` under the given assignment of its free variables.
+  Result<bool> SatisfiesWith(const FormulaPtr& f,
+                             const std::map<VarId, Value>& binding);
+
+  /// The answer `Q(PB)`: all assignments of the head variables (drawn from
+  /// the domain) that satisfy the body. For a Boolean query the result has
+  /// arity 0 and contains the empty tuple iff the sentence is true.
+  Result<Relation> Answer(const Query& query);
+
+ private:
+  static constexpr Value kUnbound = UINT32_MAX;
+
+  Status CheckSoFeasible(const FormulaPtr& f) const;
+  void EnsureEnvCapacity();
+  bool Eval(const Formula* f);
+  bool EvalSoQuantifier(const Formula* f);
+  Value Resolve(const Term& t) const;
+
+  const PhysicalDatabase* db_;
+  EvalOptions options_;
+  const VirtualRelationProvider* provider_ = nullptr;
+  std::vector<Value> env_;
+  std::map<PredId, Relation> so_env_;
+};
+
+}  // namespace lqdb
+
+#endif  // LQDB_EVAL_EVALUATOR_H_

@@ -1,0 +1,64 @@
+#ifndef LQDB_EXACT_BRUTE_H_
+#define LQDB_EXACT_BRUTE_H_
+
+#include <cstdint>
+
+#include "lqdb/cwdb/cw_database.h"
+#include "lqdb/eval/evaluator.h"
+#include "lqdb/logic/query.h"
+#include "lqdb/relational/relation.h"
+#include "lqdb/util/result.h"
+
+namespace lqdb {
+
+struct BruteOptions {
+  /// Hard cap on the number of mappings (|C|^|C| grows fast).
+  uint64_t max_mappings = 50'000'000;
+  EvalOptions eval;
+};
+
+/// Literal Theorem 1 evaluation: quantifies over *all* mappings `h : C → C`
+/// respecting the uniqueness axioms, with no partition canonicalization.
+/// Exponentially redundant; exists to cross-validate `ExactEvaluator`
+/// (tests) and to quantify the win of canonicalization (bench E7).
+class BruteForceEvaluator {
+ public:
+  explicit BruteForceEvaluator(const CwDatabase* lb, BruteOptions options = {})
+      : lb_(lb), options_(options) {}
+
+  Result<Relation> Answer(const Query& query);
+  Result<bool> Contains(const Query& query, const Tuple& candidate);
+
+  uint64_t last_mappings_examined() const { return last_mappings_; }
+
+ private:
+  const CwDatabase* lb_;
+  BruteOptions options_;
+  uint64_t last_mappings_ = 0;
+};
+
+struct ModelEnumOptions {
+  /// Upper bound on the estimated number of candidate interpretations.
+  double max_models = 20'000'000.0;
+  EvalOptions eval;
+};
+
+/// First-principles decision of `T ⊨_f φ(c)` straight from the §2.1
+/// definition: enumerates *every* finite interpretation whose domain is a
+/// nonempty subset of `C` (every constant assignment, every relation
+/// assignment), keeps those satisfying all sentences of the §2.2 theory
+/// `T`, and checks `φ(c)` in each. Totally independent of the Theorem 1
+/// machinery — the strongest cross-check the library has, and astronomically
+/// expensive: use only on tiny databases.
+///
+/// By the domain-closure axiom every model of `T` has at most `|C|` domain
+/// elements, and any such model is isomorphic to one whose domain is a
+/// subset of `C`; satisfaction is isomorphism-invariant, so restricting the
+/// enumeration to subsets of `C` is sound and complete.
+Result<bool> ModelEnumerationContains(CwDatabase* lb, const Query& query,
+                                      const Tuple& candidate,
+                                      const ModelEnumOptions& options = {});
+
+}  // namespace lqdb
+
+#endif  // LQDB_EXACT_BRUTE_H_

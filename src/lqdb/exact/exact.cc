@@ -1,0 +1,215 @@
+#include "lqdb/exact/exact.h"
+
+#include <map>
+
+namespace lqdb {
+
+namespace {
+
+Status ValidateCandidate(const CwDatabase& lb, const Query& query,
+                         const Tuple& candidate) {
+  if (candidate.size() != query.arity()) {
+    return Status::InvalidArgument("candidate arity does not match query");
+  }
+  for (Value v : candidate) {
+    if (v >= lb.num_constants()) {
+      return Status::InvalidArgument("candidate references unknown constant");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<bool> ExactEvaluator::Contains(
+    const Query& query, const Tuple& candidate,
+    std::optional<Counterexample>* counterexample) {
+  LQDB_RETURN_IF_ERROR(lb_->Validate());
+  LQDB_RETURN_IF_ERROR(ValidateCandidate(*lb_, query, candidate));
+  if (counterexample != nullptr) counterexample->reset();
+
+  bool contained = true;
+  Status error = Status::OK();
+  uint64_t examined = 0;
+
+  ForEachCanonicalMapping(*lb_, [&](const ConstMapping& h) {
+    if (++examined > options_.max_mappings) {
+      error = Status::ResourceExhausted(
+          "exceeded max_mappings = " + std::to_string(options_.max_mappings));
+      return false;
+    }
+    PhysicalDatabase image = ApplyMapping(*lb_, h);
+    Evaluator eval(&image, options_.eval);
+    std::map<VarId, Value> binding;
+    for (size_t i = 0; i < candidate.size(); ++i) {
+      binding[query.head()[i]] = h[candidate[i]];
+    }
+    Result<bool> sat = eval.SatisfiesWith(query.body(), binding);
+    if (!sat.ok()) {
+      error = sat.status();
+      return false;
+    }
+    if (!sat.value()) {
+      contained = false;
+      if (counterexample != nullptr) *counterexample = Counterexample{h};
+      return false;  // first counterexample settles membership
+    }
+    return true;
+  });
+  last_mappings_ = examined;
+  if (!error.ok()) return error;
+  return contained;
+}
+
+Result<bool> ExactEvaluator::IsPossible(
+    const Query& query, const Tuple& candidate,
+    std::optional<Counterexample>* witness) {
+  LQDB_RETURN_IF_ERROR(lb_->Validate());
+  LQDB_RETURN_IF_ERROR(ValidateCandidate(*lb_, query, candidate));
+  if (witness != nullptr) witness->reset();
+
+  bool possible = false;
+  Status error = Status::OK();
+  uint64_t examined = 0;
+
+  ForEachCanonicalMapping(*lb_, [&](const ConstMapping& h) {
+    if (++examined > options_.max_mappings) {
+      error = Status::ResourceExhausted(
+          "exceeded max_mappings = " + std::to_string(options_.max_mappings));
+      return false;
+    }
+    PhysicalDatabase image = ApplyMapping(*lb_, h);
+    Evaluator eval(&image, options_.eval);
+    std::map<VarId, Value> binding;
+    for (size_t i = 0; i < candidate.size(); ++i) {
+      binding[query.head()[i]] = h[candidate[i]];
+    }
+    Result<bool> sat = eval.SatisfiesWith(query.body(), binding);
+    if (!sat.ok()) {
+      error = sat.status();
+      return false;
+    }
+    if (sat.value()) {
+      possible = true;
+      if (witness != nullptr) *witness = Counterexample{h};
+      return false;  // first satisfying model settles possibility
+    }
+    return true;
+  });
+  last_mappings_ = examined;
+  if (!error.ok()) return error;
+  return possible;
+}
+
+Result<Relation> ExactEvaluator::PossibleAnswer(const Query& query) {
+  LQDB_RETURN_IF_ERROR(lb_->Validate());
+
+  const size_t arity = query.arity();
+  const ConstId n = static_cast<ConstId>(lb_->num_constants());
+
+  // Dual pruning to Answer: candidates start *dead* and every mapping may
+  // resurrect some; stop once all are alive.
+  std::vector<Tuple> pending;
+  {
+    Tuple t(arity, 0);
+    while (true) {
+      pending.push_back(t);
+      size_t pos = 0;
+      while (pos < arity && ++t[pos] == n) {
+        t[pos] = 0;
+        ++pos;
+      }
+      if (pos == arity) break;
+    }
+  }
+
+  Relation answer(static_cast<int>(arity));
+  Status error = Status::OK();
+  uint64_t examined = 0;
+  ForEachCanonicalMapping(*lb_, [&](const ConstMapping& h) {
+    if (++examined > options_.max_mappings) {
+      error = Status::ResourceExhausted(
+          "exceeded max_mappings = " + std::to_string(options_.max_mappings));
+      return false;
+    }
+    PhysicalDatabase image = ApplyMapping(*lb_, h);
+    Evaluator eval(&image, options_.eval);
+    std::vector<Tuple> still_pending;
+    still_pending.reserve(pending.size());
+    for (Tuple& c : pending) {
+      std::map<VarId, Value> binding;
+      for (size_t i = 0; i < arity; ++i) binding[query.head()[i]] = h[c[i]];
+      Result<bool> sat = eval.SatisfiesWith(query.body(), binding);
+      if (!sat.ok()) {
+        error = sat.status();
+        return false;
+      }
+      if (sat.value()) {
+        answer.Insert(std::move(c));
+      } else {
+        still_pending.push_back(std::move(c));
+      }
+    }
+    pending = std::move(still_pending);
+    return !pending.empty();  // nothing left to prove possible
+  });
+  last_mappings_ = examined;
+  if (!error.ok()) return error;
+  return answer;
+}
+
+Result<Relation> ExactEvaluator::Answer(const Query& query) {
+  LQDB_RETURN_IF_ERROR(lb_->Validate());
+
+  const size_t arity = query.arity();
+  const ConstId n = static_cast<ConstId>(lb_->num_constants());
+
+  // All candidate tuples over C start alive; every mapping prunes.
+  std::vector<Tuple> alive;
+  {
+    Tuple t(arity, 0);
+    while (true) {
+      alive.push_back(t);
+      size_t pos = 0;
+      while (pos < arity && ++t[pos] == n) {
+        t[pos] = 0;
+        ++pos;
+      }
+      if (pos == arity) break;
+    }
+  }
+
+  Status error = Status::OK();
+  uint64_t examined = 0;
+  ForEachCanonicalMapping(*lb_, [&](const ConstMapping& h) {
+    if (++examined > options_.max_mappings) {
+      error = Status::ResourceExhausted(
+          "exceeded max_mappings = " + std::to_string(options_.max_mappings));
+      return false;
+    }
+    PhysicalDatabase image = ApplyMapping(*lb_, h);
+    Evaluator eval(&image, options_.eval);
+    std::vector<Tuple> survivors;
+    survivors.reserve(alive.size());
+    for (const Tuple& c : alive) {
+      std::map<VarId, Value> binding;
+      for (size_t i = 0; i < arity; ++i) binding[query.head()[i]] = h[c[i]];
+      Result<bool> sat = eval.SatisfiesWith(query.body(), binding);
+      if (!sat.ok()) {
+        error = sat.status();
+        return false;
+      }
+      if (sat.value()) survivors.push_back(c);
+    }
+    alive = std::move(survivors);
+    return !alive.empty();  // nothing left to disprove
+  });
+  last_mappings_ = examined;
+  if (!error.ok()) return error;
+
+  Relation answer(static_cast<int>(arity));
+  for (Tuple& t : alive) answer.Insert(std::move(t));
+  return answer;
+}
+
+}  // namespace lqdb

@@ -1,0 +1,81 @@
+#ifndef LQDB_EXACT_EXACT_H_
+#define LQDB_EXACT_EXACT_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "lqdb/cwdb/cw_database.h"
+#include "lqdb/cwdb/mapping.h"
+#include "lqdb/eval/evaluator.h"
+#include "lqdb/logic/query.h"
+#include "lqdb/relational/relation.h"
+#include "lqdb/util/result.h"
+
+namespace lqdb {
+
+struct ExactOptions {
+  /// Abort with `ResourceExhausted` after examining this many canonical
+  /// mappings — the co-NP enumeration is exponential in the number of
+  /// unknown values (Theorem 5), so callers opt into how much work a query
+  /// may burn.
+  uint64_t max_mappings = 10'000'000;
+  EvalOptions eval;
+};
+
+/// A witness that a tuple is *not* in `Q(LB)`: a mapping `h` respecting the
+/// uniqueness axioms with `h(c) ∉ Q(h(Ph₁(LB)))` — i.e. a model of `T`
+/// falsifying `φ(c)` (Theorem 1). This is the NP certificate from the
+/// Theorem 5(1) upper-bound proof.
+struct Counterexample {
+  ConstMapping h;
+};
+
+/// Exact query evaluation over a CW logical database via the Theorem 1
+/// characterization:
+///
+///   c ∈ Q(LB)  iff  h(c) ∈ Q(h(Ph₁(LB))) for every h : C → C
+///                   that respects the uniqueness axioms,
+///
+/// enumerating one representative per kernel partition (see
+/// `ForEachCanonicalMapping`) with early exit on the first counterexample.
+class ExactEvaluator {
+ public:
+  explicit ExactEvaluator(const CwDatabase* lb, ExactOptions options = {})
+      : lb_(lb), options_(options) {}
+
+  /// The answer `Q(LB)` — a relation over the constant symbols `C`
+  /// (§2.1: logical answers are tuples of constants, not domain values).
+  Result<Relation> Answer(const Query& query);
+
+  /// Membership of one candidate tuple of constants; fills `*counterexample`
+  /// (when non-null) if the answer is negative.
+  Result<bool> Contains(const Query& query, const Tuple& candidate,
+                        std::optional<Counterexample>* counterexample =
+                            nullptr);
+
+  /// The dual of `Answer` (an extension beyond the paper, marked as such in
+  /// DESIGN.md): tuples that hold in *at least one* model of the theory —
+  /// `{c : T ∪ {φ(c)} is finitely satisfiable}`. Certain ⊆ possible; the
+  /// gap between the two relations is exactly the information lost to the
+  /// unknown values. The same Theorem 1 machinery applies with the
+  /// quantifier flipped (∃h instead of ∀h), making this the NP face of the
+  /// co-NP problem.
+  Result<Relation> PossibleAnswer(const Query& query);
+
+  /// Membership in the possible answer, with an optional witnessing
+  /// mapping (the model where the tuple holds).
+  Result<bool> IsPossible(const Query& query, const Tuple& candidate,
+                          std::optional<Counterexample>* witness = nullptr);
+
+  /// Mappings examined by the most recent call (for the E1/E7 benches).
+  uint64_t last_mappings_examined() const { return last_mappings_; }
+
+ private:
+  const CwDatabase* lb_;
+  ExactOptions options_;
+  uint64_t last_mappings_ = 0;
+};
+
+}  // namespace lqdb
+
+#endif  // LQDB_EXACT_EXACT_H_

@@ -1,0 +1,41 @@
+#ifndef LQDB_IO_TEXT_FORMAT_H_
+#define LQDB_IO_TEXT_FORMAT_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "lqdb/cwdb/cw_database.h"
+#include "lqdb/util/result.h"
+
+namespace lqdb {
+
+/// A line-oriented declarative text format for CW logical databases —
+/// exactly the state §2.2 says needs storing (facts + uniqueness axioms,
+/// with the known/unknown split of the §5 virtual-NE representation):
+///
+///     # comment
+///     known Socrates Plato          # constants with fully known identity
+///     unknown JackTheRipper         # null values
+///     predicate TEACHES/2           # optional; facts declare implicitly
+///     fact TEACHES(Socrates, Plato)
+///     distinct JackTheRipper Victoria   # explicit axiom ¬(c1 = c2)
+///
+/// Constants first mentioned inside a `fact` line are interned as *known*;
+/// declare nulls with `unknown` before (or after — status upgrades never
+/// happen implicitly) using them in facts.
+Result<std::unique_ptr<CwDatabase>> ParseCwDatabase(std::string_view text);
+
+/// Loads a database from a file on disk.
+Result<std::unique_ptr<CwDatabase>> LoadCwDatabase(const std::string& path);
+
+/// Serializes `lb` in the same format; `ParseCwDatabase(Serialize(lb))`
+/// round-trips (same constants/status, facts and explicit axioms).
+std::string SerializeCwDatabase(const CwDatabase& lb);
+
+/// Writes `lb` to a file on disk.
+Status SaveCwDatabase(const CwDatabase& lb, const std::string& path);
+
+}  // namespace lqdb
+
+#endif  // LQDB_IO_TEXT_FORMAT_H_

@@ -1,0 +1,45 @@
+#include "lqdb/logic/builder.h"
+
+#include <cassert>
+#include <vector>
+
+namespace lqdb {
+
+FormulaPtr FormulaBuilder::Atom(std::string_view pred, TermList args) {
+  Result<PredId> id =
+      vocab_->AddAuxiliaryPredicate(pred, static_cast<int>(args.size()));
+  assert(id.ok() && "predicate used with inconsistent arity");
+  // If the predicate was already declared non-auxiliary it stays that way:
+  // AddAuxiliaryPredicate only sets the flag on first declaration.
+  return Formula::Atom(id.value(), std::move(args));
+}
+
+FormulaPtr FormulaBuilder::Exists(std::initializer_list<std::string_view> vars,
+                                  FormulaPtr body) {
+  std::vector<VarId> ids;
+  for (std::string_view v : vars) ids.push_back(vocab_->AddVariable(v));
+  return Formula::Exists(ids, std::move(body));
+}
+
+FormulaPtr FormulaBuilder::Forall(std::initializer_list<std::string_view> vars,
+                                  FormulaPtr body) {
+  std::vector<VarId> ids;
+  for (std::string_view v : vars) ids.push_back(vocab_->AddVariable(v));
+  return Formula::Forall(ids, std::move(body));
+}
+
+FormulaPtr FormulaBuilder::ExistsPred(std::string_view pred, int arity,
+                                      FormulaPtr body) {
+  Result<PredId> id = vocab_->AddAuxiliaryPredicate(pred, arity);
+  assert(id.ok() && "predicate used with inconsistent arity");
+  return Formula::ExistsPred(id.value(), std::move(body));
+}
+
+FormulaPtr FormulaBuilder::ForallPred(std::string_view pred, int arity,
+                                      FormulaPtr body) {
+  Result<PredId> id = vocab_->AddAuxiliaryPredicate(pred, arity);
+  assert(id.ok() && "predicate used with inconsistent arity");
+  return Formula::ForallPred(id.value(), std::move(body));
+}
+
+}  // namespace lqdb

@@ -1,0 +1,78 @@
+#ifndef LQDB_LOGIC_BUILDER_H_
+#define LQDB_LOGIC_BUILDER_H_
+
+#include <string_view>
+
+#include "lqdb/logic/formula.h"
+#include "lqdb/logic/vocabulary.h"
+
+namespace lqdb {
+
+/// Ergonomic facade for constructing formulas by symbol *name* against a
+/// vocabulary. Intended for tests, examples and internal transforms where
+/// inputs are trusted; misuse (e.g. arity mismatch) trips an assertion.
+/// Untrusted textual input should go through `ParseFormula` instead, which
+/// reports errors as `Status`.
+class FormulaBuilder {
+ public:
+  /// The builder borrows `vocab` and interns any new names into it.
+  explicit FormulaBuilder(Vocabulary* vocab) : vocab_(vocab) {}
+
+  /// A variable term named `name` (interned on first use).
+  Term V(std::string_view name) {
+    return Term::Variable(vocab_->AddVariable(name));
+  }
+  /// A constant term named `name` (interned on first use).
+  Term C(std::string_view name) {
+    return Term::Constant(vocab_->AddConstant(name));
+  }
+  VarId Var(std::string_view name) { return vocab_->AddVariable(name); }
+
+  /// P(args...); declares `pred` with arity = args.size() on first use and
+  /// asserts the arity matches on later uses.
+  FormulaPtr Atom(std::string_view pred, TermList args);
+
+  FormulaPtr Eq(Term lhs, Term rhs) { return Formula::Equals(lhs, rhs); }
+  /// Sugar for ¬(lhs = rhs).
+  FormulaPtr Neq(Term lhs, Term rhs) {
+    return Formula::Not(Formula::Equals(lhs, rhs));
+  }
+
+  FormulaPtr Not(FormulaPtr f) { return Formula::Not(std::move(f)); }
+  FormulaPtr And(std::vector<FormulaPtr> fs) {
+    return Formula::And(std::move(fs));
+  }
+  FormulaPtr Or(std::vector<FormulaPtr> fs) {
+    return Formula::Or(std::move(fs));
+  }
+  FormulaPtr Implies(FormulaPtr a, FormulaPtr b) {
+    return Formula::Implies(std::move(a), std::move(b));
+  }
+  FormulaPtr Iff(FormulaPtr a, FormulaPtr b) {
+    return Formula::Iff(std::move(a), std::move(b));
+  }
+
+  FormulaPtr Exists(std::string_view var, FormulaPtr body) {
+    return Formula::Exists(vocab_->AddVariable(var), std::move(body));
+  }
+  FormulaPtr Forall(std::string_view var, FormulaPtr body) {
+    return Formula::Forall(vocab_->AddVariable(var), std::move(body));
+  }
+  FormulaPtr Exists(std::initializer_list<std::string_view> vars,
+                    FormulaPtr body);
+  FormulaPtr Forall(std::initializer_list<std::string_view> vars,
+                    FormulaPtr body);
+
+  /// Second-order quantification over predicate variable `pred` of `arity`.
+  FormulaPtr ExistsPred(std::string_view pred, int arity, FormulaPtr body);
+  FormulaPtr ForallPred(std::string_view pred, int arity, FormulaPtr body);
+
+  Vocabulary* vocab() { return vocab_; }
+
+ private:
+  Vocabulary* vocab_;
+};
+
+}  // namespace lqdb
+
+#endif  // LQDB_LOGIC_BUILDER_H_

@@ -1,0 +1,295 @@
+#include "lqdb/logic/formula.h"
+
+#include <cassert>
+
+namespace lqdb {
+
+namespace {
+
+// Formula's constructor is protected so clients must go through the
+// factories; this local subclass reopens it for this translation unit only.
+std::shared_ptr<Formula> NewNode(FormulaKind kind) {
+  struct Helper : Formula {
+    explicit Helper(FormulaKind k) : Formula(k) {}
+  };
+  return std::make_shared<Helper>(kind);
+}
+
+}  // namespace
+
+FormulaPtr Formula::True() {
+  static const FormulaPtr kTrue = NewNode(FormulaKind::kTrue);
+  return kTrue;
+}
+
+FormulaPtr Formula::False() {
+  static const FormulaPtr kFalse = NewNode(FormulaKind::kFalse);
+  return kFalse;
+}
+
+FormulaPtr Formula::Equals(Term lhs, Term rhs) {
+  auto node = NewNode(FormulaKind::kEquals);
+  node->terms_ = {lhs, rhs};
+  return node;
+}
+
+FormulaPtr Formula::Atom(PredId pred, TermList args) {
+  auto node = NewNode(FormulaKind::kAtom);
+  node->pred_ = pred;
+  node->terms_ = std::move(args);
+  return node;
+}
+
+FormulaPtr Formula::Not(FormulaPtr f) {
+  assert(f != nullptr);
+  auto node = NewNode(FormulaKind::kNot);
+  node->children_ = {std::move(f)};
+  return node;
+}
+
+FormulaPtr Formula::And(std::vector<FormulaPtr> fs) {
+  std::vector<FormulaPtr> flat;
+  for (auto& f : fs) {
+    assert(f != nullptr);
+    if (f->kind() == FormulaKind::kTrue) continue;
+    if (f->kind() == FormulaKind::kAnd) {
+      flat.insert(flat.end(), f->children().begin(), f->children().end());
+    } else {
+      flat.push_back(std::move(f));
+    }
+  }
+  if (flat.empty()) return True();
+  if (flat.size() == 1) return flat[0];
+  auto node = NewNode(FormulaKind::kAnd);
+  node->children_ = std::move(flat);
+  return node;
+}
+
+FormulaPtr Formula::Or(std::vector<FormulaPtr> fs) {
+  std::vector<FormulaPtr> flat;
+  for (auto& f : fs) {
+    assert(f != nullptr);
+    if (f->kind() == FormulaKind::kFalse) continue;
+    if (f->kind() == FormulaKind::kOr) {
+      flat.insert(flat.end(), f->children().begin(), f->children().end());
+    } else {
+      flat.push_back(std::move(f));
+    }
+  }
+  if (flat.empty()) return False();
+  if (flat.size() == 1) return flat[0];
+  auto node = NewNode(FormulaKind::kOr);
+  node->children_ = std::move(flat);
+  return node;
+}
+
+FormulaPtr Formula::And(FormulaPtr a, FormulaPtr b) {
+  std::vector<FormulaPtr> fs;
+  fs.push_back(std::move(a));
+  fs.push_back(std::move(b));
+  return And(std::move(fs));
+}
+
+FormulaPtr Formula::Or(FormulaPtr a, FormulaPtr b) {
+  std::vector<FormulaPtr> fs;
+  fs.push_back(std::move(a));
+  fs.push_back(std::move(b));
+  return Or(std::move(fs));
+}
+
+FormulaPtr Formula::Implies(FormulaPtr lhs, FormulaPtr rhs) {
+  assert(lhs != nullptr && rhs != nullptr);
+  auto node = NewNode(FormulaKind::kImplies);
+  node->children_ = {std::move(lhs), std::move(rhs)};
+  return node;
+}
+
+FormulaPtr Formula::Iff(FormulaPtr lhs, FormulaPtr rhs) {
+  assert(lhs != nullptr && rhs != nullptr);
+  auto node = NewNode(FormulaKind::kIff);
+  node->children_ = {std::move(lhs), std::move(rhs)};
+  return node;
+}
+
+FormulaPtr Formula::Exists(VarId var, FormulaPtr body) {
+  assert(body != nullptr);
+  auto node = NewNode(FormulaKind::kExists);
+  node->var_ = var;
+  node->children_ = {std::move(body)};
+  return node;
+}
+
+FormulaPtr Formula::Forall(VarId var, FormulaPtr body) {
+  assert(body != nullptr);
+  auto node = NewNode(FormulaKind::kForall);
+  node->var_ = var;
+  node->children_ = {std::move(body)};
+  return node;
+}
+
+FormulaPtr Formula::Exists(const std::vector<VarId>& vars, FormulaPtr body) {
+  for (auto it = vars.rbegin(); it != vars.rend(); ++it) {
+    body = Exists(*it, std::move(body));
+  }
+  return body;
+}
+
+FormulaPtr Formula::Forall(const std::vector<VarId>& vars, FormulaPtr body) {
+  for (auto it = vars.rbegin(); it != vars.rend(); ++it) {
+    body = Forall(*it, std::move(body));
+  }
+  return body;
+}
+
+FormulaPtr Formula::ExistsPred(PredId pred, FormulaPtr body) {
+  assert(body != nullptr);
+  auto node = NewNode(FormulaKind::kExistsPred);
+  node->pred_ = pred;
+  node->children_ = {std::move(body)};
+  return node;
+}
+
+FormulaPtr Formula::ForallPred(PredId pred, FormulaPtr body) {
+  assert(body != nullptr);
+  auto node = NewNode(FormulaKind::kForallPred);
+  node->pred_ = pred;
+  node->children_ = {std::move(body)};
+  return node;
+}
+
+FormulaPtr Formula::ExistsPred(const std::vector<PredId>& preds,
+                               FormulaPtr body) {
+  for (auto it = preds.rbegin(); it != preds.rend(); ++it) {
+    body = ExistsPred(*it, std::move(body));
+  }
+  return body;
+}
+
+FormulaPtr Formula::ForallPred(const std::vector<PredId>& preds,
+                               FormulaPtr body) {
+  for (auto it = preds.rbegin(); it != preds.rend(); ++it) {
+    body = ForallPred(*it, std::move(body));
+  }
+  return body;
+}
+
+bool StructurallyEqual(const FormulaPtr& a, const FormulaPtr& b) {
+  if (a == b) return true;
+  if (a == nullptr || b == nullptr) return false;
+  if (a->kind() != b->kind()) return false;
+  switch (a->kind()) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+      return true;
+    case FormulaKind::kEquals:
+      return a->terms() == b->terms();
+    case FormulaKind::kAtom:
+      return a->pred() == b->pred() && a->terms() == b->terms();
+    case FormulaKind::kExists:
+    case FormulaKind::kForall:
+      if (a->var() != b->var()) return false;
+      break;
+    case FormulaKind::kExistsPred:
+    case FormulaKind::kForallPred:
+      if (a->pred() != b->pred()) return false;
+      break;
+    default:
+      break;
+  }
+  if (a->num_children() != b->num_children()) return false;
+  for (size_t i = 0; i < a->num_children(); ++i) {
+    if (!StructurallyEqual(a->child(i), b->child(i))) return false;
+  }
+  return true;
+}
+
+namespace {
+
+void CollectFreeVariables(const FormulaPtr& f, std::set<VarId>* bound,
+                          std::set<VarId>* out) {
+  switch (f->kind()) {
+    case FormulaKind::kEquals:
+    case FormulaKind::kAtom:
+      for (const Term& t : f->terms()) {
+        if (t.is_variable() && bound->count(t.var()) == 0) {
+          out->insert(t.var());
+        }
+      }
+      return;
+    case FormulaKind::kExists:
+    case FormulaKind::kForall: {
+      bool was_bound = bound->count(f->var()) > 0;
+      bound->insert(f->var());
+      CollectFreeVariables(f->child(), bound, out);
+      if (!was_bound) bound->erase(f->var());
+      return;
+    }
+    default:
+      for (const auto& c : f->children()) CollectFreeVariables(c, bound, out);
+      return;
+  }
+}
+
+void CollectFreePredicates(const FormulaPtr& f, std::set<PredId>* bound,
+                           std::set<PredId>* out) {
+  switch (f->kind()) {
+    case FormulaKind::kAtom:
+      if (bound->count(f->pred()) == 0) out->insert(f->pred());
+      return;
+    case FormulaKind::kExistsPred:
+    case FormulaKind::kForallPred: {
+      bool was_bound = bound->count(f->pred()) > 0;
+      bound->insert(f->pred());
+      CollectFreePredicates(f->child(), bound, out);
+      if (!was_bound) bound->erase(f->pred());
+      return;
+    }
+    default:
+      for (const auto& c : f->children()) CollectFreePredicates(c, bound, out);
+      return;
+  }
+}
+
+}  // namespace
+
+std::set<VarId> FreeVariables(const FormulaPtr& f) {
+  std::set<VarId> bound, out;
+  CollectFreeVariables(f, &bound, &out);
+  return out;
+}
+
+std::set<PredId> FreePredicates(const FormulaPtr& f) {
+  std::set<PredId> bound, out;
+  CollectFreePredicates(f, &bound, &out);
+  return out;
+}
+
+std::set<ConstId> ConstantsOf(const FormulaPtr& f) {
+  std::set<ConstId> out;
+  std::vector<const Formula*> stack = {f.get()};
+  while (!stack.empty()) {
+    const Formula* cur = stack.back();
+    stack.pop_back();
+    for (const Term& t : cur->terms()) {
+      if (t.is_constant()) out.insert(t.constant());
+    }
+    for (const auto& c : cur->children()) stack.push_back(c.get());
+  }
+  return out;
+}
+
+size_t FormulaSize(const FormulaPtr& f) {
+  size_t n = 1;
+  for (const auto& c : f->children()) n += FormulaSize(c);
+  return n;
+}
+
+bool IsFirstOrder(const FormulaPtr& f) {
+  if (f->is_second_order_quantifier()) return false;
+  for (const auto& c : f->children()) {
+    if (!IsFirstOrder(c)) return false;
+  }
+  return true;
+}
+
+}  // namespace lqdb

@@ -1,0 +1,126 @@
+#ifndef LQDB_LOGIC_FORMULA_H_
+#define LQDB_LOGIC_FORMULA_H_
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "lqdb/logic/term.h"
+
+namespace lqdb {
+
+/// Node discriminator for `Formula`.
+enum class FormulaKind : uint8_t {
+  kTrue,        ///< The constant true.
+  kFalse,       ///< The constant false.
+  kEquals,      ///< t1 = t2.
+  kAtom,        ///< P(t1, ..., tk).
+  kNot,         ///< ¬φ.
+  kAnd,         ///< φ1 ∧ ... ∧ φn (n-ary, n ≥ 2 after construction).
+  kOr,          ///< φ1 ∨ ... ∨ φn.
+  kImplies,     ///< φ → ψ.
+  kIff,         ///< φ ↔ ψ.
+  kExists,      ///< ∃x φ (first-order).
+  kForall,      ///< ∀x φ (first-order).
+  kExistsPred,  ///< ∃P φ (second-order, P a predicate variable).
+  kForallPred,  ///< ∀P φ (second-order).
+};
+
+class Formula;
+/// Formulas are immutable and shared; sub-formulas may appear in several
+/// trees (the transforms in approx/ exploit this heavily).
+using FormulaPtr = std::shared_ptr<const Formula>;
+
+/// An abstract-syntax node of first- or second-order relational logic over
+/// some `Vocabulary`. Nodes refer to symbols only by id, so a formula is
+/// meaningful relative to the vocabulary it was built against.
+///
+/// Construction goes through the static factories, which perform light
+/// normalization: n-ary ∧/∨ are flattened, and the 0-/1-ary cases collapse
+/// to `True()`/`False()`/the sole child.
+class Formula {
+ public:
+  static FormulaPtr True();
+  static FormulaPtr False();
+  static FormulaPtr Equals(Term lhs, Term rhs);
+  static FormulaPtr Atom(PredId pred, TermList args);
+  static FormulaPtr Not(FormulaPtr f);
+  static FormulaPtr And(std::vector<FormulaPtr> fs);
+  static FormulaPtr Or(std::vector<FormulaPtr> fs);
+  static FormulaPtr And(FormulaPtr a, FormulaPtr b);
+  static FormulaPtr Or(FormulaPtr a, FormulaPtr b);
+  static FormulaPtr Implies(FormulaPtr lhs, FormulaPtr rhs);
+  static FormulaPtr Iff(FormulaPtr lhs, FormulaPtr rhs);
+  static FormulaPtr Exists(VarId var, FormulaPtr body);
+  static FormulaPtr Forall(VarId var, FormulaPtr body);
+  /// Sugar: nest one first-order quantifier per variable, left-to-right.
+  static FormulaPtr Exists(const std::vector<VarId>& vars, FormulaPtr body);
+  static FormulaPtr Forall(const std::vector<VarId>& vars, FormulaPtr body);
+  static FormulaPtr ExistsPred(PredId pred, FormulaPtr body);
+  static FormulaPtr ForallPred(PredId pred, FormulaPtr body);
+  static FormulaPtr ExistsPred(const std::vector<PredId>& preds,
+                               FormulaPtr body);
+  static FormulaPtr ForallPred(const std::vector<PredId>& preds,
+                               FormulaPtr body);
+
+  FormulaKind kind() const { return kind_; }
+
+  /// Terms of a `kEquals` (exactly two) or `kAtom` node.
+  const TermList& terms() const { return terms_; }
+  /// Predicate id of a `kAtom`, `kExistsPred` or `kForallPred` node.
+  PredId pred() const { return pred_; }
+  /// Bound variable of a `kExists`/`kForall` node.
+  VarId var() const { return var_; }
+
+  const std::vector<FormulaPtr>& children() const { return children_; }
+  const FormulaPtr& child(size_t i = 0) const { return children_[i]; }
+  size_t num_children() const { return children_.size(); }
+
+  bool is_quantifier() const {
+    return kind_ == FormulaKind::kExists || kind_ == FormulaKind::kForall ||
+           kind_ == FormulaKind::kExistsPred ||
+           kind_ == FormulaKind::kForallPred;
+  }
+  bool is_second_order_quantifier() const {
+    return kind_ == FormulaKind::kExistsPred ||
+           kind_ == FormulaKind::kForallPred;
+  }
+  bool is_literal_target() const {
+    return kind_ == FormulaKind::kEquals || kind_ == FormulaKind::kAtom;
+  }
+
+ protected:
+  explicit Formula(FormulaKind kind) : kind_(kind), pred_(0), var_(0) {}
+
+ private:
+  FormulaKind kind_;
+  PredId pred_;
+  VarId var_;
+  TermList terms_;
+  std::vector<FormulaPtr> children_;
+};
+
+/// Structural equality (same shape, same symbol ids). Bound variables are
+/// *not* matched up to renaming.
+bool StructurallyEqual(const FormulaPtr& a, const FormulaPtr& b);
+
+/// The set of variables with a free occurrence in `f`.
+std::set<VarId> FreeVariables(const FormulaPtr& f);
+
+/// The set of predicate symbols occurring in `f` that are not bound by an
+/// enclosing second-order quantifier.
+std::set<PredId> FreePredicates(const FormulaPtr& f);
+
+/// The set of constant symbols occurring anywhere in `f`.
+std::set<ConstId> ConstantsOf(const FormulaPtr& f);
+
+/// Number of AST nodes (used to verify the O(k log k) bound of Lemma 10).
+size_t FormulaSize(const FormulaPtr& f);
+
+/// True iff `f` contains no second-order quantifier.
+bool IsFirstOrder(const FormulaPtr& f);
+
+}  // namespace lqdb
+
+#endif  // LQDB_LOGIC_FORMULA_H_

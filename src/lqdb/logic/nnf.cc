@@ -1,0 +1,88 @@
+#include "lqdb/logic/nnf.h"
+
+#include <cassert>
+#include <vector>
+
+namespace lqdb {
+
+namespace {
+
+/// Rewrites `f` under the given polarity: the result is equivalent to `f`
+/// when `positive`, and to `¬f` otherwise.
+FormulaPtr Nnf(const FormulaPtr& f, bool positive) {
+  switch (f->kind()) {
+    case FormulaKind::kTrue:
+      return positive ? Formula::True() : Formula::False();
+    case FormulaKind::kFalse:
+      return positive ? Formula::False() : Formula::True();
+    case FormulaKind::kEquals:
+    case FormulaKind::kAtom:
+      return positive ? f : Formula::Not(f);
+    case FormulaKind::kNot:
+      return Nnf(f->child(), !positive);
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr: {
+      const bool conjunctive = (f->kind() == FormulaKind::kAnd) == positive;
+      std::vector<FormulaPtr> parts;
+      parts.reserve(f->num_children());
+      for (const auto& c : f->children()) parts.push_back(Nnf(c, positive));
+      return conjunctive ? Formula::And(std::move(parts))
+                         : Formula::Or(std::move(parts));
+    }
+    case FormulaKind::kImplies: {
+      // a -> b  ==  ¬a ∨ b;  ¬(a -> b)  ==  a ∧ ¬b.
+      if (positive) {
+        return Formula::Or(Nnf(f->child(0), false), Nnf(f->child(1), true));
+      }
+      return Formula::And(Nnf(f->child(0), true), Nnf(f->child(1), false));
+    }
+    case FormulaKind::kIff: {
+      // a <-> b  ==  (a ∧ b) ∨ (¬a ∧ ¬b);  negated: (a ∧ ¬b) ∨ (¬a ∧ b).
+      FormulaPtr a_pos = Nnf(f->child(0), true);
+      FormulaPtr a_neg = Nnf(f->child(0), false);
+      FormulaPtr b_pos = Nnf(f->child(1), true);
+      FormulaPtr b_neg = Nnf(f->child(1), false);
+      if (positive) {
+        return Formula::Or(Formula::And(a_pos, b_pos),
+                           Formula::And(a_neg, b_neg));
+      }
+      return Formula::Or(Formula::And(a_pos, b_neg),
+                         Formula::And(a_neg, b_pos));
+    }
+    case FormulaKind::kExists:
+      return positive ? Formula::Exists(f->var(), Nnf(f->child(), true))
+                      : Formula::Forall(f->var(), Nnf(f->child(), false));
+    case FormulaKind::kForall:
+      return positive ? Formula::Forall(f->var(), Nnf(f->child(), true))
+                      : Formula::Exists(f->var(), Nnf(f->child(), false));
+    case FormulaKind::kExistsPred:
+      return positive ? Formula::ExistsPred(f->pred(), Nnf(f->child(), true))
+                      : Formula::ForallPred(f->pred(), Nnf(f->child(), false));
+    case FormulaKind::kForallPred:
+      return positive ? Formula::ForallPred(f->pred(), Nnf(f->child(), true))
+                      : Formula::ExistsPred(f->pred(), Nnf(f->child(), false));
+  }
+  assert(false && "unreachable");
+  return nullptr;
+}
+
+}  // namespace
+
+FormulaPtr ToNnf(const FormulaPtr& f) { return Nnf(f, /*positive=*/true); }
+
+bool IsNnf(const FormulaPtr& f) {
+  switch (f->kind()) {
+    case FormulaKind::kImplies:
+    case FormulaKind::kIff:
+      return false;
+    case FormulaKind::kNot:
+      return f->child()->is_literal_target();
+    default:
+      for (const auto& c : f->children()) {
+        if (!IsNnf(c)) return false;
+      }
+      return true;
+  }
+}
+
+}  // namespace lqdb

@@ -1,0 +1,24 @@
+#ifndef LQDB_LOGIC_NNF_H_
+#define LQDB_LOGIC_NNF_H_
+
+#include "lqdb/logic/formula.h"
+
+namespace lqdb {
+
+/// Converts `f` to negation normal form: `->` and `<->` are eliminated and
+/// negations are pushed down so that `kNot` nodes appear only directly above
+/// `kAtom`/`kEquals` leaves. This is "pushing all negations in Q down to the
+/// atomic formulas" as in §5 of the paper — the first step of the
+/// approximate-query transform.
+///
+/// `<->` is expanded to `(a ∧ b) ∨ (¬a ∧ ¬b)`, which duplicates subtrees;
+/// deeply nested `<->` chains grow exponentially (inherent to NNF).
+FormulaPtr ToNnf(const FormulaPtr& f);
+
+/// True iff every `kNot` node in `f` wraps an atom or an equality and no
+/// `kImplies`/`kIff` node occurs.
+bool IsNnf(const FormulaPtr& f);
+
+}  // namespace lqdb
+
+#endif  // LQDB_LOGIC_NNF_H_

@@ -1,0 +1,41 @@
+#ifndef LQDB_LOGIC_PARSER_H_
+#define LQDB_LOGIC_PARSER_H_
+
+#include <string_view>
+
+#include "lqdb/logic/formula.h"
+#include "lqdb/logic/query.h"
+#include "lqdb/logic/vocabulary.h"
+#include "lqdb/util/result.h"
+
+namespace lqdb {
+
+/// Parses a formula in the concrete syntax of `PrintFormula`:
+///
+///   formula  := iff
+///   iff      := implies ("<->" implies)*
+///   implies  := or ("->" implies)?              (right associative)
+///   or       := and ("|" and)*
+///   and      := unary ("&" unary)*
+///   unary    := "!" unary | quantifier | primary
+///   quantifier := ("exists"|"forall") ident+ "." iff
+///               | ("exists2"|"forall2") (ident "/" nat)+ "." iff
+///   primary  := "true" | "false" | "(" iff ")"
+///             | ident "(" terms? ")"            (atom)
+///             | term ("=" | "!=") term          (equality)
+///
+/// Term identifiers resolve against `vocab`: a name already interned as a
+/// constant parses as that constant; otherwise a name already interned as a
+/// variable parses as that variable; otherwise names beginning with a
+/// lowercase letter become variables and all other names (uppercase or
+/// digit-initial) become constants. New predicates are declared as
+/// auxiliary symbols with the arity at first use.
+Result<FormulaPtr> ParseFormula(Vocabulary* vocab, std::string_view text);
+
+/// Parses `(x, y) . φ` (head required to list all free variables) or a bare
+/// sentence, which parses as the Boolean query `() . φ`.
+Result<Query> ParseQuery(Vocabulary* vocab, std::string_view text);
+
+}  // namespace lqdb
+
+#endif  // LQDB_LOGIC_PARSER_H_

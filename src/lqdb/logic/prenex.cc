@@ -1,0 +1,92 @@
+#include "lqdb/logic/prenex.h"
+
+#include <utility>
+#include <vector>
+
+#include "lqdb/logic/nnf.h"
+#include "lqdb/logic/substitute.h"
+
+namespace lqdb {
+
+namespace {
+
+struct PrefixEntry {
+  bool existential;
+  VarId var;
+};
+
+struct PrenexParts {
+  std::vector<PrefixEntry> prefix;
+  FormulaPtr matrix;
+};
+
+/// Hoists quantifiers out of an NNF formula. Every quantifier binds a
+/// variable that has been renamed to a fresh symbol, so hoisting through
+/// conjunction/disjunction needs no further capture analysis.
+Result<PrenexParts> Hoist(Vocabulary* vocab, const FormulaPtr& f) {
+  switch (f->kind()) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+    case FormulaKind::kEquals:
+    case FormulaKind::kAtom:
+      return PrenexParts{{}, f};
+    case FormulaKind::kNot:
+      // NNF: the child is atomic.
+      return PrenexParts{{}, f};
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr: {
+      PrenexParts out;
+      std::vector<FormulaPtr> matrices;
+      for (const auto& c : f->children()) {
+        LQDB_ASSIGN_OR_RETURN(PrenexParts part, Hoist(vocab, c));
+        out.prefix.insert(out.prefix.end(), part.prefix.begin(),
+                          part.prefix.end());
+        matrices.push_back(std::move(part.matrix));
+      }
+      out.matrix = f->kind() == FormulaKind::kAnd
+                       ? Formula::And(std::move(matrices))
+                       : Formula::Or(std::move(matrices));
+      return out;
+    }
+    case FormulaKind::kExists:
+    case FormulaKind::kForall: {
+      // Rename the bound variable to a fresh one, then recurse.
+      VarId fresh = vocab->FreshVariable(vocab->VariableName(f->var()));
+      Substitution rename{{f->var(), Term::Variable(fresh)}};
+      FormulaPtr body = Substitute(vocab, f->child(), rename);
+      LQDB_ASSIGN_OR_RETURN(PrenexParts part, Hoist(vocab, body));
+      part.prefix.insert(
+          part.prefix.begin(),
+          PrefixEntry{f->kind() == FormulaKind::kExists, fresh});
+      return part;
+    }
+    case FormulaKind::kImplies:
+    case FormulaKind::kIff:
+      return Status::Internal("implication survived NNF conversion");
+    case FormulaKind::kExistsPred:
+    case FormulaKind::kForallPred:
+      return Status::Unimplemented(
+          "prenexing second-order quantifiers is not supported");
+  }
+  return Status::Internal("unknown formula kind");
+}
+
+}  // namespace
+
+Result<FormulaPtr> ToPrenex(Vocabulary* vocab, const FormulaPtr& f) {
+  if (f == nullptr) return Status::InvalidArgument("null formula");
+  if (!IsFirstOrder(f)) {
+    return Status::Unimplemented(
+        "prenexing second-order quantifiers is not supported");
+  }
+  FormulaPtr nnf = ToNnf(f);
+  LQDB_ASSIGN_OR_RETURN(PrenexParts parts, Hoist(vocab, nnf));
+  FormulaPtr out = std::move(parts.matrix);
+  for (auto it = parts.prefix.rbegin(); it != parts.prefix.rend(); ++it) {
+    out = it->existential ? Formula::Exists(it->var, std::move(out))
+                          : Formula::Forall(it->var, std::move(out));
+  }
+  return out;
+}
+
+}  // namespace lqdb

@@ -1,0 +1,30 @@
+#ifndef LQDB_LOGIC_PRENEX_H_
+#define LQDB_LOGIC_PRENEX_H_
+
+#include "lqdb/logic/formula.h"
+#include "lqdb/logic/vocabulary.h"
+#include "lqdb/util/result.h"
+
+namespace lqdb {
+
+/// Converts a first-order formula to *prenex normal form*: a (possibly
+/// empty) quantifier prefix over a quantifier-free matrix, logically
+/// equivalent to the input over every interpretation.
+///
+/// The classes Σₖ of §4 (Theorems 6–7) are defined for prenex queries;
+/// this transform makes an arbitrary first-order query classifiable by
+/// `ClassifyFoPrefix` / `InSigmaFoK`.
+///
+/// Implementation: the formula is first brought to NNF (eliminating `->`
+/// and `<->`), every bound variable is renamed to a fresh one, and
+/// quantifiers are hoisted through ∧/∨ left to right. The result's prefix
+/// order follows the left-to-right occurrence order of the quantifiers —
+/// no prefix-minimization is attempted.
+///
+/// Fails with `Unimplemented` for formulas containing second-order
+/// quantifiers.
+Result<FormulaPtr> ToPrenex(Vocabulary* vocab, const FormulaPtr& f);
+
+}  // namespace lqdb
+
+#endif  // LQDB_LOGIC_PRENEX_H_

@@ -1,0 +1,181 @@
+#include "lqdb/logic/printer.h"
+
+#include <cassert>
+
+namespace lqdb {
+
+namespace {
+
+// Binding strength; higher binds tighter. A child is parenthesized when its
+// level is strictly looser than the context requires.
+enum Level : int {
+  kLevelIff = 0,
+  kLevelImplies = 1,
+  kLevelOr = 2,
+  kLevelAnd = 3,
+  kLevelPrefix = 4,  // !, quantifiers
+  kLevelAtom = 5,
+};
+
+int LevelOf(const FormulaPtr& f) {
+  switch (f->kind()) {
+    case FormulaKind::kIff: return kLevelIff;
+    case FormulaKind::kImplies: return kLevelImplies;
+    case FormulaKind::kOr: return kLevelOr;
+    case FormulaKind::kAnd: return kLevelAnd;
+    case FormulaKind::kNot:
+    case FormulaKind::kExists:
+    case FormulaKind::kForall:
+    case FormulaKind::kExistsPred:
+    case FormulaKind::kForallPred:
+      return kLevelPrefix;
+    default:
+      return kLevelAtom;
+  }
+}
+
+/// True when the rightmost printed element of `f` is a quantifier body,
+/// which extends "as far right as possible" when reparsed. Such nodes need
+/// parentheses whenever more text follows them in the same expression.
+bool RightOpen(const FormulaPtr& f) {
+  switch (f->kind()) {
+    case FormulaKind::kExists:
+    case FormulaKind::kForall:
+    case FormulaKind::kExistsPred:
+    case FormulaKind::kForallPred:
+      return true;
+    case FormulaKind::kNot:
+      // `x != y` sugar is closed; `!φ` inherits φ's openness.
+      if (f->child()->kind() == FormulaKind::kEquals) return false;
+      return RightOpen(f->child());
+    default:
+      return false;
+  }
+}
+
+/// Renders `f` assuming the context requires binding strength `min_level`.
+/// `tail` is true when nothing follows the node inside the current
+/// parenthesization context — only then may a right-open node omit parens.
+void Render(const Vocabulary& vocab, const FormulaPtr& f, int min_level,
+            bool tail, std::string* out) {
+  const bool parens =
+      LevelOf(f) < min_level || (!tail && RightOpen(f));
+  if (parens) {
+    *out += "(";
+    tail = true;  // the closing paren seals the node
+  }
+  switch (f->kind()) {
+    case FormulaKind::kTrue:
+      *out += "true";
+      break;
+    case FormulaKind::kFalse:
+      *out += "false";
+      break;
+    case FormulaKind::kEquals:
+      *out += PrintTerm(vocab, f->terms()[0]);
+      *out += " = ";
+      *out += PrintTerm(vocab, f->terms()[1]);
+      break;
+    case FormulaKind::kAtom: {
+      *out += vocab.PredicateName(f->pred());
+      *out += "(";
+      for (size_t i = 0; i < f->terms().size(); ++i) {
+        if (i > 0) *out += ", ";
+        *out += PrintTerm(vocab, f->terms()[i]);
+      }
+      *out += ")";
+      break;
+    }
+    case FormulaKind::kNot: {
+      // `x != y` sugar for negated equality.
+      const FormulaPtr& inner = f->child();
+      if (inner->kind() == FormulaKind::kEquals) {
+        *out += PrintTerm(vocab, inner->terms()[0]);
+        *out += " != ";
+        *out += PrintTerm(vocab, inner->terms()[1]);
+        break;
+      }
+      *out += "!";
+      Render(vocab, inner, kLevelPrefix, tail, out);
+      break;
+    }
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr: {
+      const bool is_and = f->kind() == FormulaKind::kAnd;
+      const int self = is_and ? kLevelAnd : kLevelOr;
+      for (size_t i = 0; i < f->num_children(); ++i) {
+        if (i > 0) *out += is_and ? " & " : " | ";
+        const bool last = i + 1 == f->num_children();
+        Render(vocab, f->child(i), self + 1, tail && last, out);
+      }
+      break;
+    }
+    case FormulaKind::kImplies:
+      // Right-associative.
+      Render(vocab, f->child(0), kLevelImplies + 1, /*tail=*/false, out);
+      *out += " -> ";
+      Render(vocab, f->child(1), kLevelImplies, tail, out);
+      break;
+    case FormulaKind::kIff:
+      Render(vocab, f->child(0), kLevelIff + 1, /*tail=*/false, out);
+      *out += " <-> ";
+      Render(vocab, f->child(1), kLevelIff + 1, tail, out);
+      break;
+    case FormulaKind::kExists:
+    case FormulaKind::kForall: {
+      *out += f->kind() == FormulaKind::kExists ? "exists" : "forall";
+      // Collapse a run of same-kind first-order quantifiers.
+      const Formula* cur = f.get();
+      while (true) {
+        *out += " ";
+        *out += vocab.VariableName(cur->var());
+        const Formula* body = cur->child().get();
+        if (body->kind() == cur->kind()) {
+          cur = body;
+        } else {
+          break;
+        }
+      }
+      *out += ". ";
+      Render(vocab, cur->child(), kLevelIff, /*tail=*/true, out);
+      break;
+    }
+    case FormulaKind::kExistsPred:
+    case FormulaKind::kForallPred: {
+      *out += f->kind() == FormulaKind::kExistsPred ? "exists2" : "forall2";
+      const Formula* cur = f.get();
+      while (true) {
+        *out += " ";
+        *out += vocab.PredicateName(cur->pred());
+        *out += "/";
+        *out += std::to_string(vocab.PredicateArity(cur->pred()));
+        const Formula* body = cur->child().get();
+        if (body->kind() == cur->kind()) {
+          cur = body;
+        } else {
+          break;
+        }
+      }
+      *out += ". ";
+      Render(vocab, cur->child(), kLevelIff, /*tail=*/true, out);
+      break;
+    }
+  }
+  if (parens) *out += ")";
+}
+
+}  // namespace
+
+std::string PrintTerm(const Vocabulary& vocab, const Term& t) {
+  if (t.is_variable()) return vocab.VariableName(t.var());
+  return vocab.ConstantName(t.constant());
+}
+
+std::string PrintFormula(const Vocabulary& vocab, const FormulaPtr& f) {
+  assert(f != nullptr);
+  std::string out;
+  Render(vocab, f, kLevelIff, /*tail=*/true, &out);
+  return out;
+}
+
+}  // namespace lqdb

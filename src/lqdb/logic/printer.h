@@ -1,0 +1,28 @@
+#ifndef LQDB_LOGIC_PRINTER_H_
+#define LQDB_LOGIC_PRINTER_H_
+
+#include <string>
+
+#include "lqdb/logic/formula.h"
+#include "lqdb/logic/vocabulary.h"
+
+namespace lqdb {
+
+/// Renders `f` in the concrete syntax accepted by `ParseFormula`:
+///
+///   true  false  P(x, Alice)  x = y  x != y  !phi
+///   phi & psi   phi | psi   phi -> psi   phi <-> psi
+///   exists x y. phi    forall x. phi
+///   exists2 P/2. phi   forall2 Q/1. phi
+///
+/// Operator precedence, loosest to tightest: <->, ->, |, &, prefix (!,
+/// quantifiers). Quantifier bodies extend as far right as possible.
+/// Printing uses minimal parentheses; `Print(Parse(s))` round-trips.
+std::string PrintFormula(const Vocabulary& vocab, const FormulaPtr& f);
+
+/// Renders a term (variable or constant name).
+std::string PrintTerm(const Vocabulary& vocab, const Term& t);
+
+}  // namespace lqdb
+
+#endif  // LQDB_LOGIC_PRINTER_H_

@@ -1,0 +1,39 @@
+#include "lqdb/logic/query.h"
+
+#include <set>
+
+#include "lqdb/logic/printer.h"
+
+namespace lqdb {
+
+Result<Query> Query::Make(std::vector<VarId> head, FormulaPtr body) {
+  if (body == nullptr) {
+    return Status::InvalidArgument("query body must not be null");
+  }
+  std::set<VarId> seen;
+  for (VarId v : head) {
+    if (!seen.insert(v).second) {
+      return Status::InvalidArgument("query head variables must be distinct");
+    }
+  }
+  for (VarId v : FreeVariables(body)) {
+    if (seen.count(v) == 0) {
+      return Status::InvalidArgument(
+          "free variable of the query body is missing from the head");
+    }
+  }
+  return Query(std::move(head), std::move(body));
+}
+
+std::string PrintQuery(const Vocabulary& vocab, const Query& query) {
+  std::string out = "(";
+  for (size_t i = 0; i < query.head().size(); ++i) {
+    if (i > 0) out += ", ";
+    out += vocab.VariableName(query.head()[i]);
+  }
+  out += ") . ";
+  out += PrintFormula(vocab, query.body());
+  return out;
+}
+
+}  // namespace lqdb

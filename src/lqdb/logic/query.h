@@ -1,0 +1,45 @@
+#ifndef LQDB_LOGIC_QUERY_H_
+#define LQDB_LOGIC_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "lqdb/logic/formula.h"
+#include "lqdb/logic/vocabulary.h"
+#include "lqdb/util/result.h"
+
+namespace lqdb {
+
+/// A query `(x1, ..., xk) . φ` in the sense of §2.1: a sequence of distinct
+/// head variables containing all free variables of the body `φ`. A query
+/// with an empty head and a sentence body is a *Boolean* query.
+class Query {
+ public:
+  /// Validates that head variables are distinct and cover the free
+  /// variables of `body`.
+  static Result<Query> Make(std::vector<VarId> head, FormulaPtr body);
+
+  /// A Boolean query `() . φ`; fails if `body` has free variables.
+  static Result<Query> Boolean(FormulaPtr body) {
+    return Make({}, std::move(body));
+  }
+
+  const std::vector<VarId>& head() const { return head_; }
+  const FormulaPtr& body() const { return body_; }
+  size_t arity() const { return head_.size(); }
+  bool is_boolean() const { return head_.empty(); }
+
+ private:
+  Query(std::vector<VarId> head, FormulaPtr body)
+      : head_(std::move(head)), body_(std::move(body)) {}
+
+  std::vector<VarId> head_;
+  FormulaPtr body_;
+};
+
+/// Renders a query as `(x, y) . φ` in the parseable concrete syntax.
+std::string PrintQuery(const Vocabulary& vocab, const Query& query);
+
+}  // namespace lqdb
+
+#endif  // LQDB_LOGIC_QUERY_H_

@@ -1,0 +1,147 @@
+#include "lqdb/logic/substitute.h"
+
+#include <cassert>
+#include <vector>
+
+namespace lqdb {
+
+Term SubstituteTerm(const Term& t, const Substitution& subst) {
+  if (t.is_variable()) {
+    auto it = subst.find(t.var());
+    if (it != subst.end()) return it->second;
+  }
+  return t;
+}
+
+namespace {
+
+FormulaPtr SubstituteImpl(Vocabulary* vocab, const FormulaPtr& f,
+                          const Substitution& subst) {
+  if (subst.empty()) return f;
+  switch (f->kind()) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+      return f;
+    case FormulaKind::kEquals:
+      return Formula::Equals(SubstituteTerm(f->terms()[0], subst),
+                             SubstituteTerm(f->terms()[1], subst));
+    case FormulaKind::kAtom: {
+      TermList args;
+      args.reserve(f->terms().size());
+      for (const Term& t : f->terms()) args.push_back(SubstituteTerm(t, subst));
+      return Formula::Atom(f->pred(), std::move(args));
+    }
+    case FormulaKind::kNot:
+      return Formula::Not(SubstituteImpl(vocab, f->child(), subst));
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr: {
+      std::vector<FormulaPtr> parts;
+      parts.reserve(f->num_children());
+      for (const auto& c : f->children()) {
+        parts.push_back(SubstituteImpl(vocab, c, subst));
+      }
+      return f->kind() == FormulaKind::kAnd ? Formula::And(std::move(parts))
+                                            : Formula::Or(std::move(parts));
+    }
+    case FormulaKind::kImplies:
+      return Formula::Implies(SubstituteImpl(vocab, f->child(0), subst),
+                              SubstituteImpl(vocab, f->child(1), subst));
+    case FormulaKind::kIff:
+      return Formula::Iff(SubstituteImpl(vocab, f->child(0), subst),
+                          SubstituteImpl(vocab, f->child(1), subst));
+    case FormulaKind::kExists:
+    case FormulaKind::kForall: {
+      VarId bound = f->var();
+      Substitution inner = subst;
+      inner.erase(bound);
+      // Rename the bound variable if any replacement term mentions it.
+      bool capture = false;
+      for (const auto& [from, to] : inner) {
+        (void)from;
+        if (to.is_variable() && to.var() == bound) {
+          capture = true;
+          break;
+        }
+      }
+      FormulaPtr body = f->child();
+      if (capture) {
+        VarId fresh = vocab->FreshVariable(vocab->VariableName(bound));
+        Substitution rename{{bound, Term::Variable(fresh)}};
+        body = SubstituteImpl(vocab, body, rename);
+        bound = fresh;
+      }
+      FormulaPtr new_body =
+          inner.empty() ? body : SubstituteImpl(vocab, body, inner);
+      return f->kind() == FormulaKind::kExists
+                 ? Formula::Exists(bound, std::move(new_body))
+                 : Formula::Forall(bound, std::move(new_body));
+    }
+    case FormulaKind::kExistsPred:
+      return Formula::ExistsPred(f->pred(),
+                                 SubstituteImpl(vocab, f->child(), subst));
+    case FormulaKind::kForallPred:
+      return Formula::ForallPred(f->pred(),
+                                 SubstituteImpl(vocab, f->child(), subst));
+  }
+  assert(false && "unreachable");
+  return nullptr;
+}
+
+}  // namespace
+
+FormulaPtr Substitute(Vocabulary* vocab, const FormulaPtr& f,
+                      const Substitution& subst) {
+  return SubstituteImpl(vocab, f, subst);
+}
+
+FormulaPtr ReplacePredicates(const FormulaPtr& f,
+                             const std::map<PredId, PredId>& map) {
+  if (map.empty()) return f;
+  switch (f->kind()) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+    case FormulaKind::kEquals:
+      return f;
+    case FormulaKind::kAtom: {
+      auto it = map.find(f->pred());
+      if (it == map.end()) return f;
+      return Formula::Atom(it->second, f->terms());
+    }
+    case FormulaKind::kNot:
+      return Formula::Not(ReplacePredicates(f->child(), map));
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr: {
+      std::vector<FormulaPtr> parts;
+      parts.reserve(f->num_children());
+      for (const auto& c : f->children()) {
+        parts.push_back(ReplacePredicates(c, map));
+      }
+      return f->kind() == FormulaKind::kAnd ? Formula::And(std::move(parts))
+                                            : Formula::Or(std::move(parts));
+    }
+    case FormulaKind::kImplies:
+      return Formula::Implies(ReplacePredicates(f->child(0), map),
+                              ReplacePredicates(f->child(1), map));
+    case FormulaKind::kIff:
+      return Formula::Iff(ReplacePredicates(f->child(0), map),
+                          ReplacePredicates(f->child(1), map));
+    case FormulaKind::kExists:
+      return Formula::Exists(f->var(), ReplacePredicates(f->child(), map));
+    case FormulaKind::kForall:
+      return Formula::Forall(f->var(), ReplacePredicates(f->child(), map));
+    case FormulaKind::kExistsPred:
+    case FormulaKind::kForallPred: {
+      // A second-order binder shadows replacement of the bound predicate.
+      std::map<PredId, PredId> inner = map;
+      inner.erase(f->pred());
+      FormulaPtr body = ReplacePredicates(f->child(), inner);
+      return f->kind() == FormulaKind::kExistsPred
+                 ? Formula::ExistsPred(f->pred(), std::move(body))
+                 : Formula::ForallPred(f->pred(), std::move(body));
+    }
+  }
+  assert(false && "unreachable");
+  return nullptr;
+}
+
+}  // namespace lqdb

@@ -1,0 +1,32 @@
+#ifndef LQDB_LOGIC_SUBSTITUTE_H_
+#define LQDB_LOGIC_SUBSTITUTE_H_
+
+#include <map>
+
+#include "lqdb/logic/formula.h"
+#include "lqdb/logic/vocabulary.h"
+
+namespace lqdb {
+
+/// A simultaneous substitution of terms for variables.
+using Substitution = std::map<VarId, Term>;
+
+/// Replaces free occurrences of each mapped variable in `f` by its term,
+/// renaming bound variables (with fresh names interned into `vocab`) where
+/// needed to avoid variable capture.
+FormulaPtr Substitute(Vocabulary* vocab, const FormulaPtr& f,
+                      const Substitution& subst);
+
+/// Applies `subst` to a single term.
+Term SubstituteTerm(const Term& t, const Substitution& subst);
+
+/// Replaces every atom `P(t...)` whose predicate is mapped by `map` with
+/// `map[P](t...)` (arity must agree). Second-order quantifiers *binding* a
+/// mapped predicate shadow the replacement inside their scope, mirroring
+/// variable shadowing in `Substitute`.
+FormulaPtr ReplacePredicates(const FormulaPtr& f,
+                             const std::map<PredId, PredId>& map);
+
+}  // namespace lqdb
+
+#endif  // LQDB_LOGIC_SUBSTITUTE_H_

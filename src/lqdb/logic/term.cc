@@ -1,0 +1,3 @@
+// Term is header-only; this translation unit exists so the build exposes a
+// stable object for the module and to host any future out-of-line helpers.
+#include "lqdb/logic/term.h"

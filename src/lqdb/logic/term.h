@@ -1,0 +1,59 @@
+#ifndef LQDB_LOGIC_TERM_H_
+#define LQDB_LOGIC_TERM_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "lqdb/logic/vocabulary.h"
+
+namespace lqdb {
+
+/// A term of a relational vocabulary: an individual variable or a constant
+/// symbol. (Relational vocabularies have no function symbols, §2.1.)
+class Term {
+ public:
+  enum class Kind : uint8_t { kVariable, kConstant };
+
+  static Term Variable(VarId v) { return Term(Kind::kVariable, v); }
+  static Term Constant(ConstId c) { return Term(Kind::kConstant, c); }
+
+  Kind kind() const { return kind_; }
+  bool is_variable() const { return kind_ == Kind::kVariable; }
+  bool is_constant() const { return kind_ == Kind::kConstant; }
+
+  /// The variable id; precondition: `is_variable()`.
+  VarId var() const { return id_; }
+  /// The constant id; precondition: `is_constant()`.
+  ConstId constant() const { return id_; }
+
+  bool operator==(const Term& other) const {
+    return kind_ == other.kind_ && id_ == other.id_;
+  }
+  bool operator!=(const Term& other) const { return !(*this == other); }
+  bool operator<(const Term& other) const {
+    if (kind_ != other.kind_) return kind_ < other.kind_;
+    return id_ < other.id_;
+  }
+
+ private:
+  Term(Kind kind, uint32_t id) : kind_(kind), id_(id) {}
+
+  Kind kind_;
+  uint32_t id_;
+};
+
+using TermList = std::vector<Term>;
+
+}  // namespace lqdb
+
+template <>
+struct std::hash<lqdb::Term> {
+  size_t operator()(const lqdb::Term& t) const {
+    size_t h = t.is_variable() ? 0x9e3779b97f4a7c15ull : 0xc2b2ae3d27d4eb4full;
+    uint32_t id = t.is_variable() ? t.var() : t.constant();
+    return h ^ (std::hash<uint32_t>()(id) + (h << 6) + (h >> 2));
+  }
+};
+
+#endif  // LQDB_LOGIC_TERM_H_

@@ -1,0 +1,51 @@
+#include "lqdb/logic/vocabulary.h"
+
+#include <string>
+
+namespace lqdb {
+
+Result<PredId> Vocabulary::AddPredicateImpl(std::string_view name, int arity,
+                                            bool auxiliary) {
+  if (arity < 0) {
+    return Status::InvalidArgument("predicate arity must be non-negative");
+  }
+  uint32_t existing = predicate_names_.Find(name);
+  if (existing != Interner::kNotFound) {
+    if (arities_[existing] != arity) {
+      return Status::AlreadyExists(
+          "predicate '" + std::string(name) + "' already declared with arity " +
+          std::to_string(arities_[existing]));
+    }
+    // Declaring a predicate as part of the schema upgrades an earlier
+    // auxiliary declaration; the reverse never downgrades.
+    if (!auxiliary) auxiliary_[existing] = false;
+    return existing;
+  }
+  PredId id = predicate_names_.Intern(name);
+  arities_.push_back(arity);
+  auxiliary_.push_back(auxiliary);
+  return id;
+}
+
+VarId Vocabulary::FreshVariable(std::string_view hint) {
+  std::string base(hint);
+  if (variables_.Find(base) == Interner::kNotFound) {
+    return variables_.Intern(base);
+  }
+  for (int i = 0;; ++i) {
+    std::string candidate = base + "_" + std::to_string(i);
+    if (variables_.Find(candidate) == Interner::kNotFound) {
+      return variables_.Intern(candidate);
+    }
+  }
+}
+
+std::vector<PredId> Vocabulary::SchemaPredicates() const {
+  std::vector<PredId> out;
+  for (PredId p = 0; p < predicate_names_.size(); ++p) {
+    if (!auxiliary_[p]) out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace lqdb

@@ -1,0 +1,102 @@
+#ifndef LQDB_LOGIC_VOCABULARY_H_
+#define LQDB_LOGIC_VOCABULARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lqdb/util/interner.h"
+#include "lqdb/util/result.h"
+#include "lqdb/util/status.h"
+
+namespace lqdb {
+
+/// Dense id of a constant symbol within a vocabulary.
+using ConstId = uint32_t;
+/// Dense id of a predicate symbol within a vocabulary.
+using PredId = uint32_t;
+/// Dense id of an individual variable within a vocabulary.
+using VarId = uint32_t;
+
+/// A relational vocabulary `L` in the sense of §2.1 of the paper: finitely
+/// many constant symbols and finitely many predicate symbols with fixed
+/// arities (equality is built into the logic and is not listed here), plus
+/// an interning table for individual variables used by formulas over `L`.
+///
+/// Predicate symbols may be marked *auxiliary*: they belong to the extended
+/// languages of §3.2/§5 (e.g. `NE`, `H`, the primed copies `P'`) or serve as
+/// second-order quantified predicate variables, and are not part of the
+/// stored database schema.
+class Vocabulary {
+ public:
+  static constexpr uint32_t kNotFound = Interner::kNotFound;
+
+  /// Interns a constant symbol, returning its id (idempotent).
+  ConstId AddConstant(std::string_view name) {
+    return constants_.Intern(name);
+  }
+
+  /// Adds a predicate symbol with the given arity. Fails with
+  /// `AlreadyExists` if the name is taken with a different arity; re-adding
+  /// with the same arity returns the existing id.
+  Result<PredId> AddPredicate(std::string_view name, int arity) {
+    return AddPredicateImpl(name, arity, /*auxiliary=*/false);
+  }
+
+  /// Adds an auxiliary predicate symbol (see class comment).
+  Result<PredId> AddAuxiliaryPredicate(std::string_view name, int arity) {
+    return AddPredicateImpl(name, arity, /*auxiliary=*/true);
+  }
+
+  /// Interns a variable name, returning its id (idempotent).
+  VarId AddVariable(std::string_view name) { return variables_.Intern(name); }
+
+  /// Returns a variable id whose name does not clash with any existing
+  /// variable; `hint` seeds the generated name.
+  VarId FreshVariable(std::string_view hint);
+
+  ConstId FindConstant(std::string_view name) const {
+    return constants_.Find(name);
+  }
+  PredId FindPredicate(std::string_view name) const {
+    return predicate_names_.Find(name);
+  }
+  VarId FindVariable(std::string_view name) const {
+    return variables_.Find(name);
+  }
+
+  const std::string& ConstantName(ConstId id) const {
+    return constants_.NameOf(id);
+  }
+  const std::string& PredicateName(PredId id) const {
+    return predicate_names_.NameOf(id);
+  }
+  const std::string& VariableName(VarId id) const {
+    return variables_.NameOf(id);
+  }
+
+  int PredicateArity(PredId id) const { return arities_[id]; }
+  bool IsAuxiliary(PredId id) const { return auxiliary_[id]; }
+
+  size_t num_constants() const { return constants_.size(); }
+  size_t num_predicates() const { return predicate_names_.size(); }
+  size_t num_variables() const { return variables_.size(); }
+
+  /// All non-auxiliary predicate ids, in id order (the schema of `L`).
+  std::vector<PredId> SchemaPredicates() const;
+
+ private:
+  Result<PredId> AddPredicateImpl(std::string_view name, int arity,
+                                  bool auxiliary);
+
+  Interner constants_;
+  Interner predicate_names_;
+  Interner variables_;
+  std::vector<int> arities_;       // indexed by PredId
+  std::vector<bool> auxiliary_;    // indexed by PredId
+};
+
+}  // namespace lqdb
+
+#endif  // LQDB_LOGIC_VOCABULARY_H_

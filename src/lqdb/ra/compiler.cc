@@ -1,0 +1,208 @@
+#include "lqdb/ra/compiler.h"
+
+#include <algorithm>
+#include <set>
+
+namespace lqdb {
+
+Result<PlanPtr> RaCompiler::Compile(const Query& query) {
+  LQDB_ASSIGN_OR_RETURN(PlanPtr plan, CompileFormula(query.body()));
+  std::set<VarId> head(query.head().begin(), query.head().end());
+  LQDB_ASSIGN_OR_RETURN(plan, PadTo(std::move(plan), head));
+  return Plan::Project(std::move(plan), query.head());
+}
+
+Result<PlanPtr> RaCompiler::CompileFormula(const FormulaPtr& f) {
+  if (f == nullptr) return Status::InvalidArgument("null formula");
+  switch (f->kind()) {
+    case FormulaKind::kTrue:
+      return Unit();
+    case FormulaKind::kFalse:
+      return Plan::ConstTuples({}, {});
+    case FormulaKind::kEquals:
+      return CompileEquals(f);
+    case FormulaKind::kAtom:
+      return Plan::Scan(*vocab_, f->pred(), f->terms());
+    case FormulaKind::kNot:
+      return CompileNot(f);
+    case FormulaKind::kAnd:
+      return CompileAnd(f);
+    case FormulaKind::kOr:
+      return CompileOr(f);
+    case FormulaKind::kImplies:
+      // a -> b  ==  ¬a ∨ b.
+      return CompileFormula(
+          Formula::Or(Formula::Not(f->child(0)), f->child(1)));
+    case FormulaKind::kIff:
+      // a <-> b  ==  (a ∧ b) ∨ (¬a ∧ ¬b).
+      return CompileFormula(Formula::Or(
+          Formula::And(f->child(0), f->child(1)),
+          Formula::And(Formula::Not(f->child(0)),
+                       Formula::Not(f->child(1)))));
+    case FormulaKind::kExists:
+      return CompileExists(f);
+    case FormulaKind::kForall:
+      // ∀x φ  ==  ¬∃x ¬φ.
+      return CompileFormula(Formula::Not(
+          Formula::Exists(f->var(), Formula::Not(f->child()))));
+    case FormulaKind::kExistsPred:
+    case FormulaKind::kForallPred:
+      return Status::Unimplemented(
+          "second-order quantification cannot be compiled to relational "
+          "algebra");
+  }
+  return Status::Internal("unknown formula kind");
+}
+
+Result<PlanPtr> RaCompiler::CompileEquals(const FormulaPtr& f) {
+  const Term& lhs = f->terms()[0];
+  const Term& rhs = f->terms()[1];
+  if (lhs.is_variable() && rhs.is_variable()) {
+    if (lhs.var() == rhs.var()) return Plan::DomainScan(lhs.var());
+    return Plan::EqDomain(lhs.var(), rhs.var());
+  }
+  if (lhs.is_variable()) {
+    return Plan::ConstTuples({lhs.var()}, {{rhs.constant()}});
+  }
+  if (rhs.is_variable()) {
+    return Plan::ConstTuples({rhs.var()}, {{lhs.constant()}});
+  }
+  return Plan::ConstCompare(lhs.constant(), rhs.constant());
+}
+
+Result<PlanPtr> RaCompiler::CompileAnd(const FormulaPtr& f) {
+  // Free variables of the whole conjunction: the anti-join accumulator must
+  // carry all of them before negative conjuncts are applied.
+  std::set<VarId> all_free = FreeVariables(f);
+
+  std::vector<FormulaPtr> positives;
+  std::vector<FormulaPtr> negatives;  // the bodies under kNot
+  for (const auto& c : f->children()) {
+    if (c->kind() == FormulaKind::kNot) {
+      negatives.push_back(c->child());
+    } else {
+      positives.push_back(c);
+    }
+  }
+
+  // Compile the positive conjuncts, then greedily order the joins: start
+  // from the plan that is cheapest to produce (fewest operator nodes as a
+  // static proxy for cardinality) and at every step prefer a join partner
+  // sharing at least one attribute with the accumulated schema, avoiding
+  // Cartesian products whenever the join graph is connected.
+  std::vector<PlanPtr> plans;
+  plans.reserve(positives.size());
+  for (const auto& p : positives) {
+    LQDB_ASSIGN_OR_RETURN(PlanPtr plan, CompileFormula(p));
+    plans.push_back(std::move(plan));
+  }
+  std::sort(plans.begin(), plans.end(),
+            [](const PlanPtr& a, const PlanPtr& b) {
+              return a->NumNodes() < b->NumNodes();
+            });
+
+  PlanPtr acc;
+  std::set<VarId> bound;
+  std::vector<bool> used(plans.size(), false);
+  for (size_t step = 0; step < plans.size(); ++step) {
+    size_t pick = plans.size();
+    for (size_t i = 0; i < plans.size(); ++i) {
+      if (used[i]) continue;
+      bool connected = false;
+      for (VarId v : plans[i]->schema()) {
+        if (bound.count(v) > 0) connected = true;
+      }
+      if (acc == nullptr || connected) {
+        pick = i;
+        break;
+      }
+      if (pick == plans.size()) pick = i;  // fall back to a product
+    }
+    used[pick] = true;
+    for (VarId v : plans[pick]->schema()) bound.insert(v);
+    if (acc == nullptr) {
+      acc = plans[pick];
+    } else {
+      LQDB_ASSIGN_OR_RETURN(acc, Plan::Join(std::move(acc), plans[pick]));
+    }
+  }
+  if (acc == nullptr) {
+    LQDB_ASSIGN_OR_RETURN(acc, DomainProduct(all_free));
+  } else {
+    LQDB_ASSIGN_OR_RETURN(acc, PadTo(std::move(acc), all_free));
+  }
+  for (const auto& n : negatives) {
+    LQDB_ASSIGN_OR_RETURN(PlanPtr plan, CompileFormula(n));
+    LQDB_ASSIGN_OR_RETURN(acc,
+                          Plan::AntiJoin(std::move(acc), std::move(plan)));
+  }
+  return acc;
+}
+
+Result<PlanPtr> RaCompiler::CompileOr(const FormulaPtr& f) {
+  std::set<VarId> all_free = FreeVariables(f);
+  PlanPtr acc;
+  for (const auto& c : f->children()) {
+    LQDB_ASSIGN_OR_RETURN(PlanPtr plan, CompileFormula(c));
+    LQDB_ASSIGN_OR_RETURN(plan, PadTo(std::move(plan), all_free));
+    if (acc == nullptr) {
+      acc = std::move(plan);
+    } else {
+      LQDB_ASSIGN_OR_RETURN(acc, Plan::Union(std::move(acc), std::move(plan)));
+    }
+  }
+  return acc;
+}
+
+Result<PlanPtr> RaCompiler::CompileNot(const FormulaPtr& f) {
+  const FormulaPtr& body = f->child();
+  LQDB_ASSIGN_OR_RETURN(PlanPtr plan, CompileFormula(body));
+  LQDB_ASSIGN_OR_RETURN(PlanPtr universe, DomainProduct(FreeVariables(body)));
+  return Plan::AntiJoin(std::move(universe), std::move(plan));
+}
+
+Result<PlanPtr> RaCompiler::CompileExists(const FormulaPtr& f) {
+  LQDB_ASSIGN_OR_RETURN(PlanPtr plan, CompileFormula(f->child()));
+  const std::vector<VarId>& schema = plan->schema();
+  if (std::find(schema.begin(), schema.end(), f->var()) == schema.end()) {
+    // The bound variable is not free in the body: ∃x φ ≡ φ (the domain of a
+    // physical database is nonempty).
+    return plan;
+  }
+  std::vector<VarId> kept;
+  for (VarId v : schema) {
+    if (v != f->var()) kept.push_back(v);
+  }
+  return Plan::Project(std::move(plan), std::move(kept));
+}
+
+Result<PlanPtr> RaCompiler::Unit() {
+  return Plan::ConstTuples({}, {{}});
+}
+
+Result<PlanPtr> RaCompiler::DomainProduct(const std::set<VarId>& vars) {
+  if (vars.empty()) return Unit();
+  PlanPtr acc;
+  for (VarId v : vars) {
+    PlanPtr scan = Plan::DomainScan(v);
+    if (acc == nullptr) {
+      acc = std::move(scan);
+    } else {
+      LQDB_ASSIGN_OR_RETURN(acc, Plan::Join(std::move(acc), std::move(scan)));
+    }
+  }
+  return acc;
+}
+
+Result<PlanPtr> RaCompiler::PadTo(PlanPtr plan, const std::set<VarId>& vars) {
+  std::set<VarId> have(plan->schema().begin(), plan->schema().end());
+  for (VarId v : vars) {
+    if (have.count(v) == 0) {
+      LQDB_ASSIGN_OR_RETURN(
+          plan, Plan::Join(std::move(plan), Plan::DomainScan(v)));
+    }
+  }
+  return plan;
+}
+
+}  // namespace lqdb

@@ -1,0 +1,59 @@
+#ifndef LQDB_RA_COMPILER_H_
+#define LQDB_RA_COMPILER_H_
+
+#include "lqdb/logic/formula.h"
+#include "lqdb/logic/query.h"
+#include "lqdb/ra/plan.h"
+#include "lqdb/util/result.h"
+
+namespace lqdb {
+
+/// Compiles first-order queries into relational-algebra plans under
+/// *active-domain* semantics: quantifiers and complements range over the
+/// database domain, which is exactly the semantics of `Evaluator` (and of
+/// the paper's finite interpretations, whose domain-closure axiom makes the
+/// domain explicit).
+///
+/// The translation is total on first-order formulas:
+///   - conjunction → natural join, with negated conjuncts lowered to
+///     anti-joins against the accumulated positive part;
+///   - disjunction → union, padding disjuncts with domain scans;
+///   - ¬φ in other positions → complement against a domain product;
+///   - ∃ → projection; ∀ → ¬∃¬; → and ↔ are rewritten first.
+///
+/// Second-order quantifiers are rejected with `Unimplemented`.
+///
+/// Invariant: the schema of `CompileFormula(f)` equals `FreeVariables(f)`
+/// as a set.
+class RaCompiler {
+ public:
+  explicit RaCompiler(const Vocabulary* vocab) : vocab_(vocab) {}
+
+  /// Compiles a full query; the plan's schema follows the head order.
+  /// Head variables that do not occur in the body range over the domain.
+  Result<PlanPtr> Compile(const Query& query);
+
+  /// Compiles a formula; the plan's schema is the formula's free variables.
+  Result<PlanPtr> CompileFormula(const FormulaPtr& f);
+
+ private:
+  Result<PlanPtr> CompileEquals(const FormulaPtr& f);
+  Result<PlanPtr> CompileAnd(const FormulaPtr& f);
+  Result<PlanPtr> CompileOr(const FormulaPtr& f);
+  Result<PlanPtr> CompileNot(const FormulaPtr& f);
+  Result<PlanPtr> CompileExists(const FormulaPtr& f);
+
+  /// One empty row over the empty schema (the unit of join).
+  Result<PlanPtr> Unit();
+  /// Product of domain scans over `vars` (Unit when empty).
+  Result<PlanPtr> DomainProduct(const std::set<VarId>& vars);
+  /// Joins `plan` with domain scans for any variable of `vars` missing from
+  /// its schema.
+  Result<PlanPtr> PadTo(PlanPtr plan, const std::set<VarId>& vars);
+
+  const Vocabulary* vocab_;
+};
+
+}  // namespace lqdb
+
+#endif  // LQDB_RA_COMPILER_H_

@@ -1,0 +1,223 @@
+#include "lqdb/ra/executor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+namespace lqdb {
+
+namespace {
+
+/// Positions of each attribute within a schema.
+std::unordered_map<VarId, size_t> SchemaIndex(const std::vector<VarId>& s) {
+  std::unordered_map<VarId, size_t> out;
+  for (size_t i = 0; i < s.size(); ++i) out.emplace(s[i], i);
+  return out;
+}
+
+/// Attributes common to both schemas, in `left` order.
+std::vector<VarId> SharedAttrs(const std::vector<VarId>& left,
+                               const std::vector<VarId>& right) {
+  std::vector<VarId> out;
+  for (VarId v : left) {
+    if (std::find(right.begin(), right.end(), v) != right.end()) {
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+Tuple KeyOf(const Tuple& t, const std::vector<size_t>& positions) {
+  Tuple key(positions.size());
+  for (size_t i = 0; i < positions.size(); ++i) key[i] = t[positions[i]];
+  return key;
+}
+
+}  // namespace
+
+Result<RaTable> RaExecutor::Execute(const PlanPtr& plan) {
+  if (plan == nullptr) return Status::InvalidArgument("null plan");
+  switch (plan->kind()) {
+    case PlanKind::kScan: return ExecScan(*plan);
+    case PlanKind::kConstTuples: return ExecConstTuples(*plan);
+    case PlanKind::kConstCompare: return ExecConstCompare(*plan);
+    case PlanKind::kDomainScan: return ExecDomainScan(*plan);
+    case PlanKind::kEqDomain: return ExecEqDomain(*plan);
+    case PlanKind::kJoin: return ExecJoin(*plan);
+    case PlanKind::kAntiJoin: return ExecAntiJoin(*plan);
+    case PlanKind::kUnion: return ExecUnion(*plan);
+    case PlanKind::kProject: return ExecProject(*plan);
+  }
+  return Status::Internal("unknown plan kind");
+}
+
+Result<RaTable> RaExecutor::ExecScan(const Plan& plan) {
+  const Relation& stored = db_->relation(plan.pred());
+  const TermList& cols = plan.scan_columns();
+
+  // Resolve constant filters and first-occurrence positions of variables.
+  std::unordered_map<VarId, size_t> first_pos;
+  for (size_t i = 0; i < cols.size(); ++i) {
+    if (cols[i].is_variable() && first_pos.count(cols[i].var()) == 0) {
+      first_pos.emplace(cols[i].var(), i);
+    }
+  }
+  std::vector<size_t> out_pos;
+  out_pos.reserve(plan.schema().size());
+  for (VarId v : plan.schema()) out_pos.push_back(first_pos.at(v));
+
+  RaTable out(plan.schema(), Relation(static_cast<int>(plan.schema().size())));
+  for (const Tuple& t : stored.tuples()) {
+    bool keep = true;
+    for (size_t i = 0; i < cols.size() && keep; ++i) {
+      if (cols[i].is_constant()) {
+        keep = t[i] == db_->ConstantValue(cols[i].constant());
+      } else {
+        keep = t[i] == t[first_pos.at(cols[i].var())];
+      }
+    }
+    if (!keep) continue;
+    Tuple row(out_pos.size());
+    for (size_t i = 0; i < out_pos.size(); ++i) row[i] = t[out_pos[i]];
+    out.rel.Insert(std::move(row));
+  }
+  return out;
+}
+
+Result<RaTable> RaExecutor::ExecConstTuples(const Plan& plan) {
+  RaTable out(plan.schema(), Relation(static_cast<int>(plan.schema().size())));
+  for (const auto& row : plan.rows()) {
+    Tuple t(row.size());
+    for (size_t i = 0; i < row.size(); ++i) {
+      t[i] = db_->ConstantValue(row[i]);
+    }
+    out.rel.Insert(std::move(t));
+  }
+  return out;
+}
+
+Result<RaTable> RaExecutor::ExecConstCompare(const Plan& plan) {
+  RaTable out({}, Relation(0));
+  if (db_->ConstantValue(plan.compare_lhs()) ==
+      db_->ConstantValue(plan.compare_rhs())) {
+    out.rel.Insert({});
+  }
+  return out;
+}
+
+RaTable RaExecutor::ExecDomainScan(const Plan& plan) {
+  RaTable out(plan.schema(), Relation(1));
+  for (Value v : db_->domain()) out.rel.Insert({v});
+  return out;
+}
+
+RaTable RaExecutor::ExecEqDomain(const Plan& plan) {
+  RaTable out(plan.schema(), Relation(2));
+  for (Value v : db_->domain()) out.rel.Insert({v, v});
+  return out;
+}
+
+Result<RaTable> RaExecutor::ExecJoin(const Plan& plan) {
+  LQDB_ASSIGN_OR_RETURN(RaTable left, Execute(plan.left()));
+  LQDB_ASSIGN_OR_RETURN(RaTable right, Execute(plan.right()));
+
+  const std::vector<VarId> shared = SharedAttrs(left.schema, right.schema);
+  auto lidx = SchemaIndex(left.schema);
+  auto ridx = SchemaIndex(right.schema);
+  std::vector<size_t> lkey, rkey;
+  for (VarId v : shared) {
+    lkey.push_back(lidx.at(v));
+    rkey.push_back(ridx.at(v));
+  }
+  // Columns of `right` that are new to the output, in output order.
+  std::vector<size_t> rextra;
+  for (VarId v : plan.schema()) {
+    if (lidx.count(v) == 0) rextra.push_back(ridx.at(v));
+  }
+
+  // Hash the smaller side on the shared key.
+  const bool left_build = left.rel.size() <= right.rel.size();
+  const RaTable& build = left_build ? left : right;
+  const RaTable& probe = left_build ? right : left;
+  const std::vector<size_t>& build_key = left_build ? lkey : rkey;
+  const std::vector<size_t>& probe_key = left_build ? rkey : lkey;
+
+  std::unordered_map<Tuple, std::vector<const Tuple*>, TupleHash> hash;
+  for (const Tuple& t : build.rel.tuples()) {
+    hash[KeyOf(t, build_key)].push_back(&t);
+  }
+
+  RaTable out(plan.schema(), Relation(static_cast<int>(plan.schema().size())));
+  for (const Tuple& p : probe.rel.tuples()) {
+    auto it = hash.find(KeyOf(p, probe_key));
+    if (it == hash.end()) continue;
+    for (const Tuple* b : it->second) {
+      const Tuple& l = left_build ? *b : p;
+      const Tuple& r = left_build ? p : *b;
+      Tuple row;
+      row.reserve(plan.schema().size());
+      for (size_t i = 0; i < left.schema.size(); ++i) row.push_back(l[i]);
+      for (size_t pos : rextra) row.push_back(r[pos]);
+      out.rel.Insert(std::move(row));
+    }
+  }
+  return out;
+}
+
+Result<RaTable> RaExecutor::ExecAntiJoin(const Plan& plan) {
+  LQDB_ASSIGN_OR_RETURN(RaTable left, Execute(plan.left()));
+  LQDB_ASSIGN_OR_RETURN(RaTable right, Execute(plan.right()));
+
+  const std::vector<VarId> shared = SharedAttrs(left.schema, right.schema);
+  auto lidx = SchemaIndex(left.schema);
+  auto ridx = SchemaIndex(right.schema);
+  std::vector<size_t> lkey, rkey;
+  for (VarId v : shared) {
+    lkey.push_back(lidx.at(v));
+    rkey.push_back(ridx.at(v));
+  }
+
+  Relation::TupleSet right_keys;
+  for (const Tuple& t : right.rel.tuples()) {
+    right_keys.insert(KeyOf(t, rkey));
+  }
+
+  RaTable out(left.schema, Relation(left.rel.arity()));
+  for (const Tuple& t : left.rel.tuples()) {
+    if (right_keys.count(KeyOf(t, lkey)) == 0) out.rel.Insert(t);
+  }
+  return out;
+}
+
+Result<RaTable> RaExecutor::ExecUnion(const Plan& plan) {
+  LQDB_ASSIGN_OR_RETURN(RaTable left, Execute(plan.left()));
+  LQDB_ASSIGN_OR_RETURN(RaTable right, Execute(plan.right()));
+
+  // Reorder right columns into left order.
+  auto ridx = SchemaIndex(right.schema);
+  std::vector<size_t> perm;
+  perm.reserve(left.schema.size());
+  for (VarId v : left.schema) perm.push_back(ridx.at(v));
+
+  RaTable out(left.schema, std::move(left.rel));
+  for (const Tuple& t : right.rel.tuples()) {
+    out.rel.Insert(KeyOf(t, perm));
+  }
+  return out;
+}
+
+Result<RaTable> RaExecutor::ExecProject(const Plan& plan) {
+  LQDB_ASSIGN_OR_RETURN(RaTable child, Execute(plan.child()));
+  auto cidx = SchemaIndex(child.schema);
+  std::vector<size_t> positions;
+  positions.reserve(plan.schema().size());
+  for (VarId v : plan.schema()) positions.push_back(cidx.at(v));
+
+  RaTable out(plan.schema(), Relation(static_cast<int>(plan.schema().size())));
+  for (const Tuple& t : child.rel.tuples()) {
+    out.rel.Insert(KeyOf(t, positions));
+  }
+  return out;
+}
+
+}  // namespace lqdb

@@ -1,0 +1,48 @@
+#ifndef LQDB_RA_EXECUTOR_H_
+#define LQDB_RA_EXECUTOR_H_
+
+#include <vector>
+
+#include "lqdb/ra/plan.h"
+#include "lqdb/relational/database.h"
+#include "lqdb/util/result.h"
+
+namespace lqdb {
+
+/// An executed intermediate result: a relation whose columns are named by
+/// the plan schema (column i carries attribute schema[i]).
+struct RaTable {
+  std::vector<VarId> schema;
+  Relation rel;
+
+  RaTable() : rel(0) {}
+  RaTable(std::vector<VarId> s, Relation r)
+      : schema(std::move(s)), rel(std::move(r)) {}
+};
+
+/// Bottom-up, fully materializing relational-algebra executor using hash
+/// joins. This plays the role of the "standard relational system" that §5
+/// of the paper compiles logical queries onto.
+class RaExecutor {
+ public:
+  explicit RaExecutor(const PhysicalDatabase* db) : db_(db) {}
+
+  Result<RaTable> Execute(const PlanPtr& plan);
+
+ private:
+  Result<RaTable> ExecScan(const Plan& plan);
+  Result<RaTable> ExecConstTuples(const Plan& plan);
+  Result<RaTable> ExecConstCompare(const Plan& plan);
+  RaTable ExecDomainScan(const Plan& plan);
+  RaTable ExecEqDomain(const Plan& plan);
+  Result<RaTable> ExecJoin(const Plan& plan);
+  Result<RaTable> ExecAntiJoin(const Plan& plan);
+  Result<RaTable> ExecUnion(const Plan& plan);
+  Result<RaTable> ExecProject(const Plan& plan);
+
+  const PhysicalDatabase* db_;
+};
+
+}  // namespace lqdb
+
+#endif  // LQDB_RA_EXECUTOR_H_

@@ -1,0 +1,102 @@
+#ifndef LQDB_RA_PLAN_H_
+#define LQDB_RA_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lqdb/logic/term.h"
+#include "lqdb/logic/vocabulary.h"
+#include "lqdb/util/result.h"
+
+namespace lqdb {
+
+/// Relational-algebra operator kinds. Attributes are named by `VarId` (the
+/// query variable that a column carries), which makes natural join "join on
+/// shared variables" — the textbook translation of conjunction.
+enum class PlanKind {
+  kScan,         ///< Stored relation with constant filters / repeated vars.
+  kConstTuples,  ///< Literal rows of constant symbols.
+  kConstCompare, ///< Arity-0: one row iff two constants denote equal values.
+  kDomainScan,   ///< One attribute ranging over the database domain.
+  kEqDomain,     ///< Two attributes, rows {(d, d) : d in domain}.
+  kJoin,         ///< Natural join (Cartesian product when no shared attr).
+  kAntiJoin,     ///< Left rows with no right match on the shared attributes.
+  kUnion,        ///< Set union; both sides must carry the same attribute set.
+  kProject,      ///< Duplicate-eliminating projection / column reorder.
+};
+
+class Plan;
+using PlanPtr = std::shared_ptr<const Plan>;
+
+/// An immutable relational-algebra plan node. Construction goes through the
+/// validating factories, which compute the output schema.
+class Plan {
+ public:
+  /// `P(t1, ..., tk)`: columns holding constants become selections, repeated
+  /// variables become equality filters; the schema lists the distinct
+  /// variables in order of first occurrence.
+  static Result<PlanPtr> Scan(const Vocabulary& vocab, PredId pred,
+                              TermList columns);
+
+  /// Literal rows; every row must have `schema.size()` constants.
+  static Result<PlanPtr> ConstTuples(std::vector<VarId> schema,
+                                     std::vector<std::vector<ConstId>> rows);
+
+  /// Arity-0 relation holding one row iff `lhs` and `rhs` are interpreted as
+  /// the same domain value.
+  static PlanPtr ConstCompare(ConstId lhs, ConstId rhs);
+
+  static PlanPtr DomainScan(VarId attr);
+
+  static Result<PlanPtr> EqDomain(VarId lhs, VarId rhs);
+
+  static Result<PlanPtr> Join(PlanPtr left, PlanPtr right);
+
+  static Result<PlanPtr> AntiJoin(PlanPtr left, PlanPtr right);
+
+  /// Requires equal attribute sets (any order).
+  static Result<PlanPtr> Union(PlanPtr left, PlanPtr right);
+
+  /// `attrs` must be distinct and a subset of the child's schema; the output
+  /// columns follow `attrs` order.
+  static Result<PlanPtr> Project(PlanPtr child, std::vector<VarId> attrs);
+
+  PlanKind kind() const { return kind_; }
+  const std::vector<VarId>& schema() const { return schema_; }
+  PredId pred() const { return pred_; }
+  const TermList& scan_columns() const { return scan_columns_; }
+  const std::vector<std::vector<ConstId>>& rows() const { return rows_; }
+  ConstId compare_lhs() const { return compare_lhs_; }
+  ConstId compare_rhs() const { return compare_rhs_; }
+  const PlanPtr& left() const { return children_[0]; }
+  const PlanPtr& right() const { return children_[1]; }
+  /// Sole child of a unary node.
+  const PlanPtr& child() const { return children_[0]; }
+  const std::vector<PlanPtr>& children() const { return children_; }
+
+  /// Indented operator-tree dump for debugging and tests.
+  std::string ToString(const Vocabulary& vocab) const;
+
+  /// Total number of operator nodes.
+  size_t NumNodes() const;
+
+ protected:
+  explicit Plan(PlanKind kind) : kind_(kind) {}
+
+ private:
+  void AppendTo(const Vocabulary& vocab, int indent, std::string* out) const;
+
+  PlanKind kind_;
+  std::vector<VarId> schema_;
+  PredId pred_ = 0;
+  TermList scan_columns_;
+  std::vector<std::vector<ConstId>> rows_;
+  ConstId compare_lhs_ = 0;
+  ConstId compare_rhs_ = 0;
+  std::vector<PlanPtr> children_;
+};
+
+}  // namespace lqdb
+
+#endif  // LQDB_RA_PLAN_H_

@@ -1,0 +1,205 @@
+#include "lqdb/ra/sql.h"
+
+#include <cassert>
+
+namespace lqdb {
+
+namespace {
+
+class SqlEmitter {
+ public:
+  explicit SqlEmitter(const Vocabulary& vocab) : vocab_(vocab) {}
+
+  std::string Emit(const Plan& plan) {
+    switch (plan.kind()) {
+      case PlanKind::kScan: return EmitScan(plan);
+      case PlanKind::kConstTuples: return EmitConstTuples(plan);
+      case PlanKind::kConstCompare: return EmitConstCompare(plan);
+      case PlanKind::kDomainScan:
+        return "SELECT v AS " + Attr(plan.schema()[0]) + " FROM dom";
+      case PlanKind::kEqDomain:
+        return "SELECT v AS " + Attr(plan.schema()[0]) + ", v AS " +
+               Attr(plan.schema()[1]) + " FROM dom";
+      case PlanKind::kJoin: return EmitJoin(plan);
+      case PlanKind::kAntiJoin: return EmitAntiJoin(plan);
+      case PlanKind::kUnion:
+        return Emit(*plan.left()) + "\nUNION\n" + Emit(*plan.right());
+      case PlanKind::kProject: return EmitProject(plan);
+    }
+    assert(false && "unreachable");
+    return "";
+  }
+
+ private:
+  std::string Attr(VarId v) const {
+    // Variable names are identifier-shaped by construction (parser/builder
+    // intern identifiers; fresh variables append _<n>).
+    return vocab_.VariableName(v);
+  }
+
+  std::string Lit(ConstId c) const {
+    std::string out = "'";
+    for (char ch : vocab_.ConstantName(c)) {
+      if (ch == '\'') out += "''";
+      out += ch;
+    }
+    out += "'";
+    return out;
+  }
+
+  std::string Alias() { return "t" + std::to_string(counter_++); }
+
+  std::string SelectList(const std::vector<VarId>& schema,
+                         const std::string& qualifier) const {
+    if (schema.empty()) return "1 AS one";
+    std::string out;
+    for (size_t i = 0; i < schema.size(); ++i) {
+      if (i > 0) out += ", ";
+      if (!qualifier.empty()) out += qualifier + ".";
+      out += Attr(schema[i]);
+    }
+    return out;
+  }
+
+  std::string EmitScan(const Plan& plan) {
+    const std::string table = vocab_.PredicateName(plan.pred());
+    std::string alias = Alias();
+    std::string select = "SELECT DISTINCT ";
+    std::string where;
+    std::vector<std::pair<VarId, size_t>> first_pos;
+    auto find_first = [&first_pos](VarId v) -> int {
+      for (const auto& [var, pos] : first_pos) {
+        if (var == v) return static_cast<int>(pos);
+      }
+      return -1;
+    };
+    std::string cols;
+    for (size_t i = 0; i < plan.scan_columns().size(); ++i) {
+      const Term& t = plan.scan_columns()[i];
+      std::string col = alias + ".c" + std::to_string(i);
+      if (t.is_constant()) {
+        if (!where.empty()) where += " AND ";
+        where += col + " = " + Lit(t.constant());
+        continue;
+      }
+      int prior = find_first(t.var());
+      if (prior < 0) {
+        first_pos.emplace_back(t.var(), i);
+        if (!cols.empty()) cols += ", ";
+        cols += col + " AS " + Attr(t.var());
+      } else {
+        if (!where.empty()) where += " AND ";
+        where += col + " = " + alias + ".c" + std::to_string(prior);
+      }
+    }
+    if (cols.empty()) cols = "1 AS one";
+    select += cols + " FROM " + table + " " + alias;
+    if (!where.empty()) select += " WHERE " + where;
+    return select;
+  }
+
+  std::string EmitConstTuples(const Plan& plan) {
+    if (plan.rows().empty()) {
+      // The empty relation over this schema.
+      return "SELECT " + SelectList(plan.schema(), "") + " FROM dom WHERE 1=0";
+    }
+    std::string values;
+    for (size_t r = 0; r < plan.rows().size(); ++r) {
+      if (r > 0) values += ", ";
+      values += "(";
+      if (plan.rows()[r].empty()) values += "1";
+      for (size_t i = 0; i < plan.rows()[r].size(); ++i) {
+        if (i > 0) values += ", ";
+        values += Lit(plan.rows()[r][i]);
+      }
+      values += ")";
+    }
+    std::string alias = Alias();
+    std::string col_names;
+    if (plan.schema().empty()) {
+      col_names = "one";
+    } else {
+      for (size_t i = 0; i < plan.schema().size(); ++i) {
+        if (i > 0) col_names += ", ";
+        col_names += Attr(plan.schema()[i]);
+      }
+    }
+    return "SELECT DISTINCT * FROM (VALUES " + values + ") AS " + alias + "(" +
+           col_names + ")";
+  }
+
+  std::string EmitConstCompare(const Plan& plan) {
+    return "SELECT 1 AS one WHERE " + Lit(plan.compare_lhs()) + " = " +
+           Lit(plan.compare_rhs());
+  }
+
+  std::string EmitJoin(const Plan& plan) {
+    std::string l = Alias();
+    std::string r = Alias();
+    std::string on;
+    for (VarId v : plan.left()->schema()) {
+      for (VarId w : plan.right()->schema()) {
+        if (v == w) {
+          if (!on.empty()) on += " AND ";
+          on += l + "." + Attr(v) + " = " + r + "." + Attr(v);
+        }
+      }
+    }
+    std::string cols;
+    for (size_t i = 0; i < plan.schema().size(); ++i) {
+      VarId v = plan.schema()[i];
+      bool from_left = false;
+      for (VarId w : plan.left()->schema()) {
+        if (w == v) from_left = true;
+      }
+      if (i > 0) cols += ", ";
+      cols += (from_left ? l : r) + "." + Attr(v);
+    }
+    if (cols.empty()) cols = "1 AS one";
+    std::string join_kw = on.empty() ? " CROSS JOIN " : " JOIN ";
+    std::string stmt = "SELECT DISTINCT " + cols + " FROM (" +
+                       Emit(*plan.left()) + ") " + l + join_kw + "(" +
+                       Emit(*plan.right()) + ") " + r;
+    if (!on.empty()) stmt += " ON " + on;
+    return stmt;
+  }
+
+  std::string EmitAntiJoin(const Plan& plan) {
+    std::string l = Alias();
+    std::string r = Alias();
+    std::string corr;
+    for (VarId v : plan.left()->schema()) {
+      for (VarId w : plan.right()->schema()) {
+        if (v == w) {
+          if (!corr.empty()) corr += " AND ";
+          corr += r + "." + Attr(v) + " = " + l + "." + Attr(v);
+        }
+      }
+    }
+    std::string stmt = "SELECT " + SelectList(plan.schema(), l) + " FROM (" +
+                       Emit(*plan.left()) + ") " + l +
+                       " WHERE NOT EXISTS (SELECT 1 FROM (" +
+                       Emit(*plan.right()) + ") " + r;
+    if (!corr.empty()) stmt += " WHERE " + corr;
+    stmt += ")";
+    return stmt;
+  }
+
+  std::string EmitProject(const Plan& plan) {
+    std::string alias = Alias();
+    return "SELECT DISTINCT " + SelectList(plan.schema(), alias) + " FROM (" +
+           Emit(*plan.child()) + ") " + alias;
+  }
+
+  const Vocabulary& vocab_;
+  int counter_ = 0;
+};
+
+}  // namespace
+
+std::string EmitSql(const Vocabulary& vocab, const PlanPtr& plan) {
+  assert(plan != nullptr);
+  return SqlEmitter(vocab).Emit(*plan);
+}
+
+}  // namespace lqdb

@@ -1,0 +1,23 @@
+#ifndef LQDB_RA_SQL_H_
+#define LQDB_RA_SQL_H_
+
+#include <string>
+
+#include "lqdb/ra/plan.h"
+
+namespace lqdb {
+
+/// Renders a relational-algebra plan as a SQL SELECT statement, to document
+/// how the compiled queries of §5 would run on an off-the-shelf relational
+/// DBMS. Conventions: every predicate `P` of arity k is a table `P(c0, ...,
+/// c{k-1})`; the active domain is a one-column table `dom(v)`; attributes
+/// are named after their query variables. Arity-0 intermediates carry a
+/// constant `one` column (SQL has no zero-column tables).
+///
+/// The output is illustrative, standard SQL; this library executes plans
+/// with `RaExecutor` rather than shipping them to an external engine.
+std::string EmitSql(const Vocabulary& vocab, const PlanPtr& plan);
+
+}  // namespace lqdb
+
+#endif  // LQDB_RA_SQL_H_

@@ -1,0 +1,72 @@
+#include "lqdb/reductions/coloring.h"
+
+#include <string>
+
+#include "lqdb/logic/builder.h"
+
+namespace lqdb {
+
+namespace {
+
+bool ColorVertex(const Graph& g, int v, int k, std::vector<int>* colors) {
+  if (v == g.num_vertices()) return true;
+  for (int c = 0; c < k; ++c) {
+    bool ok = true;
+    for (int u = 0; u < v && ok; ++u) {
+      if ((*colors)[u] == c && g.HasEdge(u, v)) ok = false;
+    }
+    if (!ok) continue;
+    (*colors)[v] = c;
+    if (ColorVertex(g, v + 1, k, colors)) return true;
+  }
+  (*colors)[v] = -1;
+  return false;
+}
+
+}  // namespace
+
+bool IsKColorable(const Graph& g, int k, std::vector<int>* coloring) {
+  std::vector<int> colors(g.num_vertices(), -1);
+  if (!ColorVertex(g, 0, k, &colors)) return false;
+  if (coloring != nullptr) *coloring = std::move(colors);
+  return true;
+}
+
+Result<ColoringReduction> BuildColoringReduction(const Graph& g) {
+  CwDatabase lb;
+  // Known color constants 1, 2, 3 — their mutual distinctness supplies the
+  // three uniqueness axioms of the construction.
+  ConstId one = lb.AddKnownConstant("1");
+  lb.AddKnownConstant("2");
+  lb.AddKnownConstant("3");
+  (void)one;
+
+  LQDB_ASSIGN_OR_RETURN(PredId m, lb.AddPredicate("M", 1));
+  LQDB_ASSIGN_OR_RETURN(PredId r, lb.AddPredicate("R", 2));
+  for (const char* color : {"1", "2", "3"}) {
+    LQDB_RETURN_IF_ERROR(
+        lb.AddFact(m, {lb.AddKnownConstant(color)}));
+  }
+
+  // One unknown constant per vertex; no uniqueness axioms for them.
+  std::vector<ConstId> vertex_consts;
+  vertex_consts.reserve(g.num_vertices());
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    vertex_consts.push_back(
+        lb.AddUnknownConstant("c" + std::to_string(v)));
+  }
+  for (const auto& [u, v] : g.edges()) {
+    LQDB_RETURN_IF_ERROR(
+        lb.AddFact(r, {vertex_consts[u], vertex_consts[v]}));
+  }
+
+  // φ = (∀y M(y)) → (∃z R(z, z)).
+  FormulaBuilder b(lb.mutable_vocab());
+  FormulaPtr phi =
+      b.Implies(b.Forall("y", b.Atom("M", {b.V("y")})),
+                b.Exists("z", b.Atom("R", {b.V("z"), b.V("z")})));
+  LQDB_ASSIGN_OR_RETURN(Query query, Query::Boolean(std::move(phi)));
+  return ColoringReduction{std::move(lb), std::move(query)};
+}
+
+}  // namespace lqdb

@@ -1,0 +1,43 @@
+#ifndef LQDB_REDUCTIONS_COLORING_H_
+#define LQDB_REDUCTIONS_COLORING_H_
+
+#include <optional>
+#include <vector>
+
+#include "lqdb/cwdb/cw_database.h"
+#include "lqdb/logic/query.h"
+#include "lqdb/reductions/graph.h"
+#include "lqdb/util/result.h"
+
+namespace lqdb {
+
+/// Direct backtracking k-coloring decision procedure (the independent
+/// baseline the Theorem 5(2) reduction is validated against). When
+/// `coloring` is non-null and the graph is colorable, it receives a witness
+/// assignment vertex → color in [0, k).
+bool IsKColorable(const Graph& g, int k, std::vector<int>* coloring = nullptr);
+
+/// The Theorem 5(2) logspace reduction from graph 3-colorability to
+/// first-order query evaluation over a CW logical database:
+///
+///   - vocabulary: binary `R`, unary `M`, a constant `c_v` per vertex
+///     (unknown identity) and known constants `1`, `2`, `3`;
+///   - facts: `M(1)`, `M(2)`, `M(3)` and `R(c_u, c_v)` per edge;
+///   - uniqueness axioms: exactly ¬(1=2), ¬(1=3), ¬(2=3);
+///   - query: `() . (forall y. M(y)) -> (exists z. R(z, z))`.
+///
+/// G is 3-colorable  iff  LB ⊭_f φ  iff  () ∉ Q(LB): a 3-coloring is a
+/// mapping `h` collapsing every vertex constant onto {1,2,3} with no edge
+/// mapped to a self-loop, which is exactly a countermodel of φ.
+struct ColoringReduction {
+  CwDatabase lb;
+  Query query;
+};
+
+/// Builds the reduction for `g`. The returned struct owns its database;
+/// the query's symbol ids refer to `lb.vocab()`.
+Result<ColoringReduction> BuildColoringReduction(const Graph& g);
+
+}  // namespace lqdb
+
+#endif  // LQDB_REDUCTIONS_COLORING_H_

@@ -1,0 +1,65 @@
+#include "lqdb/reductions/graph.h"
+
+#include <cassert>
+
+#include "lqdb/util/rng.h"
+
+namespace lqdb {
+
+void Graph::AddEdge(int u, int v) {
+  assert(u >= 0 && u < num_vertices_ && v >= 0 && v < num_vertices_);
+  if (u == v) return;
+  if (u > v) std::swap(u, v);
+  edges_.insert({u, v});
+}
+
+bool Graph::HasEdge(int u, int v) const {
+  if (u > v) std::swap(u, v);
+  return edges_.count({u, v}) > 0;
+}
+
+Graph CycleGraph(int n) {
+  Graph g(n);
+  for (int i = 0; i < n; ++i) g.AddEdge(i, (i + 1) % n);
+  return g;
+}
+
+Graph CompleteGraph(int n) {
+  Graph g(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) g.AddEdge(i, j);
+  }
+  return g;
+}
+
+Graph PetersenGraph() {
+  Graph g(10);
+  // Outer 5-cycle 0..4, inner pentagram 5..9, spokes i -- i+5.
+  for (int i = 0; i < 5; ++i) {
+    g.AddEdge(i, (i + 1) % 5);
+    g.AddEdge(5 + i, 5 + (i + 2) % 5);
+    g.AddEdge(i, 5 + i);
+  }
+  return g;
+}
+
+Graph CompleteBipartiteGraph(int a, int b) {
+  Graph g(a + b);
+  for (int i = 0; i < a; ++i) {
+    for (int j = 0; j < b; ++j) g.AddEdge(i, a + j);
+  }
+  return g;
+}
+
+Graph RandomGraph(int n, double p, uint64_t seed) {
+  Graph g(n);
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (rng.Chance(p)) g.AddEdge(i, j);
+    }
+  }
+  return g;
+}
+
+}  // namespace lqdb

@@ -1,0 +1,53 @@
+#ifndef LQDB_REDUCTIONS_GRAPH_H_
+#define LQDB_REDUCTIONS_GRAPH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <set>
+#include <utility>
+#include <vector>
+
+namespace lqdb {
+
+/// A simple undirected graph on vertices 0..num_vertices-1, used by the
+/// Theorem 5(2) reduction from graph 3-colorability.
+class Graph {
+ public:
+  explicit Graph(int num_vertices) : num_vertices_(num_vertices) {}
+
+  int num_vertices() const { return num_vertices_; }
+  size_t num_edges() const { return edges_.size(); }
+
+  /// Adds the undirected edge {u, v}; self-loops and duplicates are kept
+  /// out. Precondition: vertices in range.
+  void AddEdge(int u, int v);
+
+  bool HasEdge(int u, int v) const;
+
+  /// Normalized edge list (u < v), in insertion-independent sorted order.
+  const std::set<std::pair<int, int>>& edges() const { return edges_; }
+
+ private:
+  int num_vertices_;
+  std::set<std::pair<int, int>> edges_;
+};
+
+/// The n-cycle (3-colorable iff n != some parity cases: odd cycles need 3
+/// colors, even cycles 2; all cycles with n >= 3 are 3-colorable).
+Graph CycleGraph(int n);
+
+/// The complete graph K_n (3-colorable iff n <= 3).
+Graph CompleteGraph(int n);
+
+/// The Petersen graph (3-chromatic).
+Graph PetersenGraph();
+
+/// Complete bipartite K_{a,b} (2-colorable).
+Graph CompleteBipartiteGraph(int a, int b);
+
+/// Erdős–Rényi G(n, p) with a deterministic seed.
+Graph RandomGraph(int n, double p, uint64_t seed);
+
+}  // namespace lqdb
+
+#endif  // LQDB_REDUCTIONS_GRAPH_H_

@@ -1,0 +1,188 @@
+#include "lqdb/reductions/qbf.h"
+
+#include <array>
+#include <cassert>
+
+namespace lqdb {
+
+namespace {
+
+std::shared_ptr<BoolExpr> NewExpr(BoolExpr::Kind kind) {
+  struct Helper : BoolExpr {
+    explicit Helper(Kind k) : BoolExpr(k) {}
+  };
+  return std::make_shared<Helper>(kind);
+}
+
+}  // namespace
+
+BoolExprPtr BoolExpr::Var(QbfVar v) {
+  auto node = NewExpr(Kind::kVar);
+  node->var_ = v;
+  return node;
+}
+
+BoolExprPtr BoolExpr::Not(BoolExprPtr e) {
+  auto node = NewExpr(Kind::kNot);
+  node->children_ = {std::move(e)};
+  return node;
+}
+
+BoolExprPtr BoolExpr::And(std::vector<BoolExprPtr> es) {
+  assert(!es.empty());
+  if (es.size() == 1) return es[0];
+  auto node = NewExpr(Kind::kAnd);
+  node->children_ = std::move(es);
+  return node;
+}
+
+BoolExprPtr BoolExpr::Or(std::vector<BoolExprPtr> es) {
+  assert(!es.empty());
+  if (es.size() == 1) return es[0];
+  auto node = NewExpr(Kind::kOr);
+  node->children_ = std::move(es);
+  return node;
+}
+
+bool BoolExpr::Eval(const std::vector<std::vector<bool>>& assignment) const {
+  switch (kind_) {
+    case Kind::kVar:
+      return assignment[var_.block][var_.index];
+    case Kind::kNot:
+      return !children_[0]->Eval(assignment);
+    case Kind::kAnd:
+      for (const auto& c : children_) {
+        if (!c->Eval(assignment)) return false;
+      }
+      return true;
+    case Kind::kOr:
+      for (const auto& c : children_) {
+        if (c->Eval(assignment)) return true;
+      }
+      return false;
+  }
+  assert(false && "unreachable");
+  return false;
+}
+
+std::string BoolExpr::ToString() const {
+  switch (kind_) {
+    case Kind::kVar:
+      return "x" + std::to_string(var_.block) + "_" +
+             std::to_string(var_.index);
+    case Kind::kNot:
+      return "!" + children_[0]->ToString();
+    case Kind::kAnd:
+    case Kind::kOr: {
+      std::string sep = kind_ == Kind::kAnd ? " & " : " | ";
+      std::string out = "(";
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) out += sep;
+        out += children_[i]->ToString();
+      }
+      return out + ")";
+    }
+  }
+  return "";
+}
+
+namespace {
+
+bool EvalBlocks(const Qbf& qbf, int block,
+                std::vector<std::vector<bool>>* assignment) {
+  if (block == qbf.num_blocks()) return qbf.matrix->Eval(*assignment);
+  const int m = qbf.block_sizes[block];
+  const bool universal = block % 2 == 0;
+  const uint64_t limit = 1ull << m;
+  for (uint64_t mask = 0; mask < limit; ++mask) {
+    for (int i = 0; i < m; ++i) {
+      (*assignment)[block][i] = (mask >> i) & 1;
+    }
+    bool sub = EvalBlocks(qbf, block + 1, assignment);
+    if (universal && !sub) return false;
+    if (!universal && sub) return true;
+  }
+  return universal;
+}
+
+}  // namespace
+
+bool EvalQbf(const Qbf& qbf) {
+  assert(qbf.matrix != nullptr);
+  std::vector<std::vector<bool>> assignment;
+  for (int m : qbf.block_sizes) {
+    assert(m >= 0 && m < 63);
+    assignment.emplace_back(m, false);
+  }
+  return EvalBlocks(qbf, 0, &assignment);
+}
+
+Qbf Qbf3Cnf::ToQbf() const {
+  std::vector<BoolExprPtr> conjuncts;
+  for (const Cnf3Clause& clause : clauses) {
+    std::vector<BoolExprPtr> lits;
+    for (const Cnf3Literal& lit : clause) {
+      BoolExprPtr v = BoolExpr::Var(lit.var);
+      lits.push_back(lit.positive ? v : BoolExpr::Not(v));
+    }
+    conjuncts.push_back(BoolExpr::Or(std::move(lits)));
+  }
+  Qbf out;
+  out.block_sizes = block_sizes;
+  out.matrix = conjuncts.empty()
+                   ? BoolExpr::Or({BoolExpr::Var({0, 0}),
+                                   BoolExpr::Not(BoolExpr::Var({0, 0}))})
+                   : BoolExpr::And(std::move(conjuncts));
+  return out;
+}
+
+namespace {
+
+QbfVar RandomVar(const std::vector<int>& block_sizes, Rng* rng) {
+  while (true) {
+    int block = static_cast<int>(rng->Below(block_sizes.size()));
+    if (block_sizes[block] == 0) continue;
+    return QbfVar{block, static_cast<int>(rng->Below(block_sizes[block]))};
+  }
+}
+
+BoolExprPtr RandomExpr(const std::vector<int>& block_sizes, int size,
+                       Rng* rng) {
+  if (size <= 1) {
+    BoolExprPtr v = BoolExpr::Var(RandomVar(block_sizes, rng));
+    return rng->Chance(0.5) ? v : BoolExpr::Not(std::move(v));
+  }
+  int left = 1 + static_cast<int>(rng->Below(static_cast<uint64_t>(size - 1)));
+  BoolExprPtr a = RandomExpr(block_sizes, left, rng);
+  BoolExprPtr b = RandomExpr(block_sizes, size - left, rng);
+  if (rng->Chance(0.5)) return BoolExpr::And({std::move(a), std::move(b)});
+  return BoolExpr::Or({std::move(a), std::move(b)});
+}
+
+}  // namespace
+
+Qbf RandomQbf(const std::vector<int>& block_sizes, int matrix_size,
+              uint64_t seed) {
+  Rng rng(seed);
+  Qbf out;
+  out.block_sizes = block_sizes;
+  out.matrix = RandomExpr(block_sizes, matrix_size, &rng);
+  return out;
+}
+
+Qbf3Cnf RandomQbf3Cnf(const std::vector<int>& block_sizes, int num_clauses,
+                      uint64_t seed) {
+  Rng rng(seed);
+  Qbf3Cnf out;
+  out.block_sizes = block_sizes;
+  for (int i = 0; i < num_clauses; ++i) {
+    Cnf3Clause clause;
+    for (int j = 0; j < 3; ++j) {
+      clause[j] = Cnf3Literal{RandomVar(block_sizes, &rng), rng.Chance(0.5)};
+    }
+    out.clauses.push_back(clause);
+  }
+  return out;
+}
+
+}  // namespace lqdb

@@ -1,0 +1,106 @@
+#ifndef LQDB_REDUCTIONS_QBF_H_
+#define LQDB_REDUCTIONS_QBF_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lqdb/util/rng.h"
+
+namespace lqdb {
+
+/// A propositional variable of a QBF in the paper's block notation:
+/// `x_{block, index}` with 0-based block and index. Block b is universally
+/// quantified when b is even (blocks alternate ∀, ∃, ∀, ... — formulas of
+/// B_{k+1} start with a universal block, §4).
+struct QbfVar {
+  int block;
+  int index;
+};
+
+/// A quantifier-free Boolean formula over `QbfVar`s.
+class BoolExpr;
+using BoolExprPtr = std::shared_ptr<const BoolExpr>;
+
+class BoolExpr {
+ public:
+  enum class Kind { kVar, kNot, kAnd, kOr };
+
+  static BoolExprPtr Var(QbfVar v);
+  static BoolExprPtr Not(BoolExprPtr e);
+  static BoolExprPtr And(std::vector<BoolExprPtr> es);
+  static BoolExprPtr Or(std::vector<BoolExprPtr> es);
+
+  Kind kind() const { return kind_; }
+  QbfVar var() const { return var_; }
+  const std::vector<BoolExprPtr>& children() const { return children_; }
+
+  /// Evaluates under `assignment[block][index]`.
+  bool Eval(const std::vector<std::vector<bool>>& assignment) const;
+
+  std::string ToString() const;
+
+ protected:
+  explicit BoolExpr(Kind kind) : kind_(kind), var_{0, 0} {}
+
+ private:
+  Kind kind_;
+  QbfVar var_;
+  std::vector<BoolExprPtr> children_;
+};
+
+/// A quantified Boolean formula in the B_{k+1} shape of [St77] / §4:
+/// alternating blocks of variables starting with ∀, over an arbitrary
+/// quantifier-free matrix.
+struct Qbf {
+  /// block_sizes[b] = number of variables in block b; blocks alternate
+  /// ∀ (b even), ∃ (b odd).
+  std::vector<int> block_sizes;
+  BoolExprPtr matrix;
+
+  int num_blocks() const { return static_cast<int>(block_sizes.size()); }
+  /// k such that this formula belongs to B_{k+1} (i.e. num_blocks - 1).
+  int k() const { return num_blocks() - 1; }
+};
+
+/// Direct recursive decision of a QBF (exponential; the independent
+/// baseline for the Theorem 7 / Theorem 9 reductions).
+bool EvalQbf(const Qbf& qbf);
+
+/// A literal of a 3CNF clause: variable plus polarity.
+struct Cnf3Literal {
+  QbfVar var;
+  bool positive;
+};
+
+/// A clause with exactly three literals.
+using Cnf3Clause = std::array<Cnf3Literal, 3>;
+
+/// The 3CNF-matrix QBFs used by Theorem 9 ("we assume w.l.o.g. that ψ is in
+/// conjunctive normal form and every conjunct is a disjunction of three
+/// variables").
+struct Qbf3Cnf {
+  std::vector<int> block_sizes;  ///< Same block convention as `Qbf`.
+  std::vector<Cnf3Clause> clauses;
+
+  int num_blocks() const { return static_cast<int>(block_sizes.size()); }
+  int k() const { return num_blocks() - 1; }
+
+  /// The equivalent general-matrix QBF (for solving with `EvalQbf`).
+  Qbf ToQbf() const;
+};
+
+/// Random QBF with the given block sizes and a random matrix of roughly
+/// `matrix_size` connectives. Deterministic in `seed`.
+Qbf RandomQbf(const std::vector<int>& block_sizes, int matrix_size,
+              uint64_t seed);
+
+/// Random 3CNF QBF with `num_clauses` clauses. Deterministic in `seed`.
+Qbf3Cnf RandomQbf3Cnf(const std::vector<int>& block_sizes, int num_clauses,
+                      uint64_t seed);
+
+}  // namespace lqdb
+
+#endif  // LQDB_REDUCTIONS_QBF_H_

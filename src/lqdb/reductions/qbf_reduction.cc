@@ -1,0 +1,93 @@
+#include "lqdb/reductions/qbf_reduction.h"
+
+#include <string>
+
+#include "lqdb/logic/builder.h"
+
+namespace lqdb {
+
+namespace {
+
+/// Translates the matrix: x_{0,j} ↦ N_{j+1}(1); x_{b,j} (b ≥ 1) ↦ M(y_b_j).
+Result<FormulaPtr> TranslateMatrix(const BoolExpr& e, FormulaBuilder* b) {
+  switch (e.kind()) {
+    case BoolExpr::Kind::kVar: {
+      const QbfVar v = e.var();
+      if (v.block == 0) {
+        return b->Atom("N" + std::to_string(v.index + 1), {b->C("1")});
+      }
+      return b->Atom("M", {b->V("y" + std::to_string(v.block) + "_" +
+                                std::to_string(v.index))});
+    }
+    case BoolExpr::Kind::kNot: {
+      LQDB_ASSIGN_OR_RETURN(FormulaPtr inner,
+                            TranslateMatrix(*e.children()[0], b));
+      return Formula::Not(std::move(inner));
+    }
+    case BoolExpr::Kind::kAnd:
+    case BoolExpr::Kind::kOr: {
+      std::vector<FormulaPtr> parts;
+      for (const auto& c : e.children()) {
+        LQDB_ASSIGN_OR_RETURN(FormulaPtr part, TranslateMatrix(*c, b));
+        parts.push_back(std::move(part));
+      }
+      return e.kind() == BoolExpr::Kind::kAnd
+                 ? Formula::And(std::move(parts))
+                 : Formula::Or(std::move(parts));
+    }
+  }
+  return Status::Internal("unknown BoolExpr kind");
+}
+
+}  // namespace
+
+Result<QbfReduction> BuildQbfReduction(const Qbf& qbf) {
+  if (qbf.num_blocks() < 1) {
+    return Status::InvalidArgument("QBF needs at least one block");
+  }
+  if (qbf.matrix == nullptr) {
+    return Status::InvalidArgument("QBF matrix must not be null");
+  }
+
+  CwDatabase lb;
+  // Known constants 0, 1: the construction's only uniqueness axiom
+  // ¬(0 = 1) comes from their mutual distinctness.
+  lb.AddKnownConstant("0");
+  ConstId one = lb.AddKnownConstant("1");
+
+  LQDB_ASSIGN_OR_RETURN(PredId m_pred, lb.AddPredicate("M", 1));
+  LQDB_RETURN_IF_ERROR(lb.AddFact(m_pred, {one}));
+
+  // Outermost (universal) block: N_j(c_j) facts over unknown constants.
+  const int m1 = qbf.block_sizes[0];
+  for (int j = 1; j <= m1; ++j) {
+    LQDB_ASSIGN_OR_RETURN(PredId nj,
+                          lb.AddPredicate("N" + std::to_string(j), 1));
+    ConstId cj = lb.AddUnknownConstant("C" + std::to_string(j));
+    LQDB_RETURN_IF_ERROR(lb.AddFact(nj, {cj}));
+  }
+
+  FormulaBuilder b(lb.mutable_vocab());
+  LQDB_ASSIGN_OR_RETURN(FormulaPtr chi, TranslateMatrix(*qbf.matrix, &b));
+
+  // Quantifier prefix for blocks 1..k (0-based), innermost first. Block
+  // b (0-based) is existential in σ iff b is odd — matching the source
+  // formula, whose even blocks are universal and whose block 0 is simulated
+  // by the mapping quantification.
+  FormulaPtr sigma = std::move(chi);
+  for (int block = qbf.num_blocks() - 1; block >= 1; --block) {
+    std::vector<VarId> vars;
+    for (int j = 0; j < qbf.block_sizes[block]; ++j) {
+      vars.push_back(b.Var("y" + std::to_string(block) + "_" +
+                           std::to_string(j)));
+    }
+    const bool existential = block % 2 == 1;
+    sigma = existential ? Formula::Exists(vars, std::move(sigma))
+                        : Formula::Forall(vars, std::move(sigma));
+  }
+
+  LQDB_ASSIGN_OR_RETURN(Query query, Query::Boolean(std::move(sigma)));
+  return QbfReduction{std::move(lb), std::move(query)};
+}
+
+}  // namespace lqdb

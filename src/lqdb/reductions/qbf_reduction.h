@@ -1,0 +1,40 @@
+#ifndef LQDB_REDUCTIONS_QBF_REDUCTION_H_
+#define LQDB_REDUCTIONS_QBF_REDUCTION_H_
+
+#include "lqdb/cwdb/cw_database.h"
+#include "lqdb/logic/query.h"
+#include "lqdb/reductions/qbf.h"
+#include "lqdb/util/result.h"
+
+namespace lqdb {
+
+/// The Theorem 7 logspace reduction from the Πᵖₖ₊₁-complete set B_{k+1} of
+/// true QBFs to evaluation of Σₖ first-order queries over CW logical
+/// databases:
+///
+///   - vocabulary: unary `M`, `N_1..N_{m1}`; known constants `0`, `1`
+///     (supplying the single uniqueness axiom ¬(0 = 1)) and unknown
+///     constants `c_1..c_{m1}`;
+///   - facts: `M(1)` and `N_j(c_j)`;
+///   - query: σ = (∃y_{2,*})(∀y_{3,*})...(Q y_{k+1,*}) χ, where χ replaces
+///     the outermost-block variable x_{1,j} by `N_j(1)` and x_{i,j} (i ≥ 2)
+///     by `M(y_{i,j})`.
+///
+/// The universal quantification over mappings h (Theorem 1) simulates the
+/// leading ∀-block — `N_j(1)` holds in h(Ph₁) iff h(c_j) = h(1) — and the
+/// first-order quantifiers simulate the remaining blocks, since `M(y)`
+/// holds iff y = h(1) and the domain always has a non-h(1) element (h(0)).
+///
+/// The QBF is true  iff  T ⊨_f σ  iff  () ∈ Q(LB).
+struct QbfReduction {
+  CwDatabase lb;
+  Query query;
+};
+
+/// Builds the reduction. Requires at least one block; the first block is
+/// universal (B_{k+1} convention).
+Result<QbfReduction> BuildQbfReduction(const Qbf& qbf);
+
+}  // namespace lqdb
+
+#endif  // LQDB_REDUCTIONS_QBF_REDUCTION_H_

@@ -1,0 +1,120 @@
+#include "lqdb/reductions/so_reduction.h"
+
+#include <array>
+#include <map>
+#include <string>
+
+#include "lqdb/logic/builder.h"
+
+namespace lqdb {
+
+namespace {
+
+std::string ConstName(const QbfVar& v) {
+  // 1-based like the paper's c_{i,j}.
+  return "C" + std::to_string(v.block + 1) + "_" + std::to_string(v.index + 1);
+}
+
+std::string PredName(int i, int j, int l, bool p, bool q, bool r) {
+  return "R" + std::to_string(i) + "_" + std::to_string(j) + "_" +
+         std::to_string(l) + "_" + std::to_string(p ? 1 : 0) +
+         std::to_string(q ? 1 : 0) + std::to_string(r ? 1 : 0);
+}
+
+}  // namespace
+
+Result<SoReduction> BuildSoReduction(const Qbf3Cnf& qbf) {
+  if (qbf.num_blocks() < 1) {
+    return Status::InvalidArgument("QBF needs at least one block");
+  }
+
+  CwDatabase lb;
+  ConstId one = lb.AddKnownConstant("1");
+
+  // Variable constants: unknown for the outermost (∀, h-simulated) block,
+  // known (pairwise distinct) for all inner blocks.
+  for (int block = 0; block < qbf.num_blocks(); ++block) {
+    for (int j = 0; j < qbf.block_sizes[block]; ++j) {
+      const std::string name = ConstName(QbfVar{block, j});
+      if (block == 0) {
+        lb.AddUnknownConstant(name);
+      } else {
+        lb.AddKnownConstant(name);
+      }
+    }
+  }
+
+  LQDB_ASSIGN_OR_RETURN(PredId n1, lb.AddPredicate("NB1", 1));
+  LQDB_RETURN_IF_ERROR(lb.AddFact(n1, {one}));
+
+  // One ternary predicate per clause *shape*; one fact per clause.
+  std::map<std::string, PredId> shape_preds;
+  for (const Cnf3Clause& clause : qbf.clauses) {
+    const std::string name =
+        PredName(clause[0].var.block + 1, clause[1].var.block + 1,
+                 clause[2].var.block + 1, clause[0].positive,
+                 clause[1].positive, clause[2].positive);
+    auto it = shape_preds.find(name);
+    if (it == shape_preds.end()) {
+      LQDB_ASSIGN_OR_RETURN(PredId p, lb.AddPredicate(name, 3));
+      it = shape_preds.emplace(name, p).first;
+    }
+    Tuple fact;
+    for (const Cnf3Literal& lit : clause) {
+      fact.push_back(lb.vocab().FindConstant(ConstName(lit.var)));
+    }
+    LQDB_RETURN_IF_ERROR(lb.AddFact(it->second, std::move(fact)));
+  }
+
+  // Second-order predicate variables NB2..NB{k+1} (NB_i holds the "true"
+  // variables of block i).
+  FormulaBuilder b(lb.mutable_vocab());
+  auto block_pred_name = [](int block /*0-based*/) {
+    return "NB" + std::to_string(block + 1);
+  };
+
+  // ξ: per clause shape, ∀xyz (R(x,y,z) → lit1 NB_i(x) ∨ lit2 NB_j(y) ∨
+  // lit3 NB_l(z)). Build from the clauses (deduplicated by shape).
+  std::map<std::string, FormulaPtr> shape_axioms;
+  for (const Cnf3Clause& clause : qbf.clauses) {
+    const std::string name =
+        PredName(clause[0].var.block + 1, clause[1].var.block + 1,
+                 clause[2].var.block + 1, clause[0].positive,
+                 clause[1].positive, clause[2].positive);
+    if (shape_axioms.count(name) > 0) continue;
+    Term x = b.V("sx"), y = b.V("sy"), z = b.V("sz");
+    const std::array<Term, 3> args = {x, y, z};
+    std::vector<FormulaPtr> lits;
+    for (int t = 0; t < 3; ++t) {
+      FormulaPtr atom = b.Atom(block_pred_name(clause[t].var.block),
+                               {args[t]});
+      lits.push_back(clause[t].positive ? atom
+                                        : Formula::Not(std::move(atom)));
+    }
+    FormulaPtr body = Formula::Implies(
+        b.Atom(name, {x, y, z}), Formula::Or(std::move(lits)));
+    shape_axioms[name] = b.Forall(
+        {"sx", "sy", "sz"}, std::move(body));
+  }
+  std::vector<FormulaPtr> xi_parts;
+  for (auto& [name, axiom] : shape_axioms) {
+    (void)name;
+    xi_parts.push_back(std::move(axiom));
+  }
+  FormulaPtr xi = xi_parts.empty() ? Formula::True()
+                                   : Formula::And(std::move(xi_parts));
+
+  // SO prefix ∃NB2 ∀NB3 ... over blocks 1..k (0-based), innermost first.
+  FormulaPtr sigma = std::move(xi);
+  for (int block = qbf.num_blocks() - 1; block >= 1; --block) {
+    const bool existential = block % 2 == 1;
+    sigma = existential
+                ? b.ExistsPred(block_pred_name(block), 1, std::move(sigma))
+                : b.ForallPred(block_pred_name(block), 1, std::move(sigma));
+  }
+
+  LQDB_ASSIGN_OR_RETURN(Query query, Query::Boolean(std::move(sigma)));
+  return SoReduction{std::move(lb), std::move(query)};
+}
+
+}  // namespace lqdb

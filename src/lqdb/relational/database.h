@@ -1,0 +1,98 @@
+#ifndef LQDB_RELATIONAL_DATABASE_H_
+#define LQDB_RELATIONAL_DATABASE_H_
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "lqdb/logic/vocabulary.h"
+#include "lqdb/relational/relation.h"
+#include "lqdb/util/result.h"
+
+namespace lqdb {
+
+/// A *physical database* `(L, I)` in the sense of §2.1: a finite
+/// interpretation of a relational vocabulary — a nonempty finite domain, an
+/// assignment of a domain value to every constant symbol, and a relation of
+/// the right arity for every interpreted predicate symbol. Equality is
+/// interpreted as identity on the domain and is built into the evaluator.
+///
+/// Predicates without an explicit relation are interpreted as empty — this
+/// matches the closed-world completion axiom for factless predicates and
+/// lets formulas over extended vocabularies (§3.2) evaluate directly.
+class PhysicalDatabase {
+ public:
+  /// The database borrows `vocab`, which must outlive it.
+  explicit PhysicalDatabase(const Vocabulary* vocab) : vocab_(vocab) {}
+
+  const Vocabulary& vocab() const { return *vocab_; }
+
+  /// Adds `v` to the domain (idempotent).
+  void AddDomainValue(Value v) {
+    if (domain_set_.insert(v).second) domain_.push_back(v);
+  }
+
+  /// Domain values in insertion order.
+  const std::vector<Value>& domain() const { return domain_; }
+  bool InDomain(Value v) const { return domain_set_.count(v) > 0; }
+  size_t domain_size() const { return domain_.size(); }
+
+  /// Assigns constant symbol `c` to domain value `v` (which must already be
+  /// in the domain).
+  Status SetConstant(ConstId c, Value v);
+
+  /// Interprets every constant symbol of the vocabulary as "itself" and puts
+  /// all constants in the domain — the identity interpretation used by the
+  /// Ph₁/Ph₂ constructions.
+  void InterpretConstantsAsThemselves();
+
+  /// The value assigned to `c`. Precondition: `c` was assigned.
+  Value ConstantValue(ConstId c) const;
+  bool HasConstantValue(ConstId c) const {
+    return constants_.count(c) > 0;
+  }
+
+  /// Adds tuple `t` to the relation of `pred`, creating the relation on
+  /// first use. All values must be in the domain and the tuple arity must
+  /// match the predicate arity.
+  Status AddTuple(PredId pred, Tuple t);
+
+  /// Replaces the relation of `pred` wholesale (arity checked).
+  Status SetRelation(PredId pred, Relation rel);
+
+  /// The relation of `pred`, or an empty relation of the right arity when
+  /// no tuple was ever added.
+  const Relation& relation(PredId pred) const;
+
+  bool HasRelation(PredId pred) const { return relations_.count(pred) > 0; }
+
+  /// Ids of predicates with a stored (possibly empty) relation.
+  std::vector<PredId> StoredPredicates() const;
+
+  /// Validates the structural invariant §2.1 requires of every finite
+  /// interpretation: a nonempty domain. Totality of the constant
+  /// assignment is enforced per formula by the evaluator (see
+  /// `Evaluator::SatisfiesWith`), so that interning new constants into the
+  /// shared vocabulary does not retroactively invalidate the database.
+  Status Validate() const;
+
+  /// Human-readable dump (for examples and debugging).
+  std::string ToString() const;
+
+  /// Name of a domain value: the constant name when the value lies in the
+  /// constant-id space, else `d<value>`.
+  std::string ValueName(Value v) const;
+
+ private:
+  const Vocabulary* vocab_;
+  std::vector<Value> domain_;
+  std::unordered_set<Value> domain_set_;
+  std::unordered_map<ConstId, Value> constants_;
+  std::map<PredId, Relation> relations_;
+};
+
+}  // namespace lqdb
+
+#endif  // LQDB_RELATIONAL_DATABASE_H_

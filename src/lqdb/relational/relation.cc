@@ -1,0 +1,21 @@
+#include "lqdb/relational/relation.h"
+
+#include <algorithm>
+
+namespace lqdb {
+
+std::vector<Tuple> Relation::SortedTuples() const {
+  std::vector<Tuple> out(tuples_.begin(), tuples_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool Relation::IsSubsetOf(const Relation& other) const {
+  if (arity_ != other.arity_) return false;
+  for (const Tuple& t : tuples_) {
+    if (!other.Contains(t)) return false;
+  }
+  return true;
+}
+
+}  // namespace lqdb

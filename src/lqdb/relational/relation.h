@@ -1,0 +1,52 @@
+#ifndef LQDB_RELATIONAL_RELATION_H_
+#define LQDB_RELATIONAL_RELATION_H_
+
+#include <cassert>
+#include <unordered_set>
+#include <vector>
+
+#include "lqdb/relational/tuple.h"
+
+namespace lqdb {
+
+/// A finite relation of fixed arity: a duplicate-free set of tuples.
+class Relation {
+ public:
+  using TupleSet = std::unordered_set<Tuple, TupleHash>;
+
+  explicit Relation(int arity) : arity_(arity) { assert(arity >= 0); }
+
+  int arity() const { return arity_; }
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+
+  /// Inserts `t`; returns true when the tuple was not already present.
+  /// Precondition: `t.size() == arity()`.
+  bool Insert(Tuple t) {
+    assert(static_cast<int>(t.size()) == arity_);
+    return tuples_.insert(std::move(t)).second;
+  }
+
+  bool Contains(const Tuple& t) const { return tuples_.count(t) > 0; }
+
+  const TupleSet& tuples() const { return tuples_; }
+
+  bool operator==(const Relation& other) const {
+    return arity_ == other.arity_ && tuples_ == other.tuples_;
+  }
+  bool operator!=(const Relation& other) const { return !(*this == other); }
+
+  /// Returns the tuples in lexicographic order (for deterministic output).
+  std::vector<Tuple> SortedTuples() const;
+
+  /// True iff every tuple of this relation is in `other`.
+  bool IsSubsetOf(const Relation& other) const;
+
+ private:
+  int arity_;
+  TupleSet tuples_;
+};
+
+}  // namespace lqdb
+
+#endif  // LQDB_RELATIONAL_RELATION_H_

@@ -1,0 +1,16 @@
+#include "lqdb/relational/tuple.h"
+
+namespace lqdb {
+
+std::string TupleToString(const Tuple& t,
+                          const std::function<std::string(Value)>& name) {
+  std::string out = "(";
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += name(t[i]);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace lqdb

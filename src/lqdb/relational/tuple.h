@@ -1,0 +1,39 @@
+#ifndef LQDB_RELATIONAL_TUPLE_H_
+#define LQDB_RELATIONAL_TUPLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace lqdb {
+
+/// A domain element of a finite interpretation. By convention, values are
+/// drawn from the constant-id space of the governing `Vocabulary` (the
+/// paper's constructions Ph₁/Ph₂ take the domain to be the set `C` of
+/// constant symbols, and quotient images map constants to constants), but
+/// any dense uint32 id works.
+using Value = uint32_t;
+
+/// A database tuple: a fixed-length vector of domain values.
+using Tuple = std::vector<Value>;
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const {
+    // FNV-1a over the value words.
+    size_t h = 1469598103934665603ull;
+    for (Value v : t) {
+      h ^= v;
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+};
+
+/// Renders a tuple as `(a, b, c)` using `name(value)` for each component.
+std::string TupleToString(const Tuple& t,
+                          const std::function<std::string(Value)>& name);
+
+}  // namespace lqdb
+
+#endif  // LQDB_RELATIONAL_TUPLE_H_

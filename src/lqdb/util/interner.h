@@ -1,0 +1,39 @@
+#ifndef LQDB_UTIL_INTERNER_H_
+#define LQDB_UTIL_INTERNER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace lqdb {
+
+/// Bidirectional map between strings and dense integer ids.
+///
+/// Used for constant and predicate names: all hot-path code manipulates
+/// `uint32_t` ids; names are only touched when parsing or printing.
+class Interner {
+ public:
+  /// Returns the id of `name`, interning it if it is new. Ids are dense and
+  /// assigned in first-seen order starting at 0.
+  uint32_t Intern(std::string_view name);
+
+  /// Returns the id of `name`, or `kNotFound` if it was never interned.
+  static constexpr uint32_t kNotFound = UINT32_MAX;
+  uint32_t Find(std::string_view name) const;
+
+  /// Returns the name for a valid id. Precondition: `id < size()`.
+  const std::string& NameOf(uint32_t id) const;
+
+  size_t size() const { return names_.size(); }
+  bool empty() const { return names_.empty(); }
+
+ private:
+  std::unordered_map<std::string, uint32_t> ids_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace lqdb
+
+#endif  // LQDB_UTIL_INTERNER_H_

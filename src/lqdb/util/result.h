@@ -1,0 +1,77 @@
+#ifndef LQDB_UTIL_RESULT_H_
+#define LQDB_UTIL_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "lqdb/util/status.h"
+
+namespace lqdb {
+
+/// Either a value of type `T` or an error `Status` — the Arrow `Result<T>`
+/// idiom. Accessing the value of an errored result is a programming error
+/// (checked by assertion in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!std::get<Status>(repr_).ok() &&
+           "Result must not be constructed from an OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The error status; OK if this result holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` if this result is an error.
+  T value_or(T fallback) const {
+    return ok() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Evaluates `expr` (a Result<T>), propagating errors; otherwise assigns the
+/// unwrapped value to `lhs` (which may be a declaration).
+#define LQDB_ASSIGN_OR_RETURN(lhs, expr)                              \
+  LQDB_ASSIGN_OR_RETURN_IMPL_(                                        \
+      LQDB_RESULT_CONCAT_(_lqdb_result_, __LINE__), lhs, expr)
+
+#define LQDB_RESULT_CONCAT_INNER_(a, b) a##b
+#define LQDB_RESULT_CONCAT_(a, b) LQDB_RESULT_CONCAT_INNER_(a, b)
+#define LQDB_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+}  // namespace lqdb
+
+#endif  // LQDB_UTIL_RESULT_H_

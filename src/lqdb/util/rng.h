@@ -1,0 +1,51 @@
+#ifndef LQDB_UTIL_RNG_H_
+#define LQDB_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace lqdb {
+
+/// Small deterministic PRNG (xorshift128+) used by tests, workload
+/// generators and benchmarks so every run is reproducible from a seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // SplitMix64 seeding to spread low-entropy seeds.
+    s_[0] = SplitMix(seed);
+    s_[1] = SplitMix(s_[0]);
+  }
+
+  uint64_t Next() {
+    uint64_t x = s_[0];
+    const uint64_t y = s_[1];
+    s_[0] = y;
+    x ^= x << 23;
+    s_[1] = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s_[1] + y;
+  }
+
+  /// Uniform integer in [0, bound). Precondition: bound > 0.
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli trial with probability `p`.
+  bool Chance(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t SplitMix(uint64_t z) {
+    z += 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t s_[2];
+};
+
+}  // namespace lqdb
+
+#endif  // LQDB_UTIL_RNG_H_

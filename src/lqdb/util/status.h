@@ -1,0 +1,91 @@
+#ifndef LQDB_UTIL_STATUS_H_
+#define LQDB_UTIL_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace lqdb {
+
+/// Machine-readable category of a failure, modeled after the Arrow/RocksDB
+/// status idiom: library entry points that can fail return `Status` or
+/// `Result<T>` instead of throwing.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Caller-supplied input is malformed.
+  kNotFound,          ///< Named symbol/relation does not exist.
+  kAlreadyExists,     ///< Redefinition of an existing symbol.
+  kFailedPrecondition,///< Operation not valid in the current state.
+  kUnimplemented,     ///< Feature intentionally out of scope (e.g. unsafe query for RA).
+  kInternal,          ///< Invariant violation inside the library (a bug).
+  kResourceExhausted, ///< Configured search/enumeration limit exceeded.
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A cheap value type describing the outcome of an operation.
+///
+/// An OK status carries no message. Error statuses carry a code and a
+/// message intended for humans. `Status` is copyable and movable; moved-from
+/// statuses are OK.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Propagates a non-OK status to the caller.
+#define LQDB_RETURN_IF_ERROR(expr)                  \
+  do {                                              \
+    ::lqdb::Status _lqdb_status = (expr);           \
+    if (!_lqdb_status.ok()) return _lqdb_status;    \
+  } while (false)
+
+}  // namespace lqdb
+
+#endif  // LQDB_UTIL_STATUS_H_

@@ -1,0 +1,49 @@
+#include "lqdb/util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace lqdb {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& row, std::string* out) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      *out += "| ";
+      *out += row[i];
+      out->append(widths[i] - row[i].size() + 1, ' ');
+    }
+    *out += "|\n";
+  };
+  std::string out;
+  emit_row(header_, &out);
+  for (size_t i = 0; i < header_.size(); ++i) {
+    out += "|";
+    out.append(widths[i] + 2, '-');
+  }
+  out += "|\n";
+  for (const auto& row : rows_) emit_row(row, &out);
+  return out;
+}
+
+std::string FormatDouble(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+}  // namespace lqdb

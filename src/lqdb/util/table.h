@@ -1,0 +1,32 @@
+#ifndef LQDB_UTIL_TABLE_H_
+#define LQDB_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace lqdb {
+
+/// Renders rows of strings as an aligned ASCII table. Benchmarks use this to
+/// print paper-style result tables next to the google-benchmark output.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  /// Returns the fully formatted table, including a header separator.
+  std::string ToString() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant decimal places.
+std::string FormatDouble(double v, int digits = 3);
+
+}  // namespace lqdb
+
+#endif  // LQDB_UTIL_TABLE_H_

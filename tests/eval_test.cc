@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include "lqdb/eval/answer.h"
+#include "lqdb/eval/evaluator.h"
+#include "lqdb/logic/builder.h"
+#include "lqdb/logic/nnf.h"
+#include "lqdb/logic/parser.h"
+#include "lqdb/util/rng.h"
+#include "testing.h"
+
+namespace lqdb {
+namespace {
+
+using testing::RandomFormula;
+using testing::RandomFormulaParams;
+
+/// A two-person teaching world: TEACHES(Socrates, Plato).
+class EvalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    socrates_ = vocab_.AddConstant("Socrates");
+    plato_ = vocab_.AddConstant("Plato");
+    teaches_ = vocab_.AddPredicate("TEACHES", 2).value();
+    db_ = std::make_unique<PhysicalDatabase>(&vocab_);
+    db_->InterpretConstantsAsThemselves();
+    ASSERT_OK(db_->AddTuple(teaches_, {socrates_, plato_}));
+  }
+
+  bool Sat(const std::string& text) {
+    auto f = ParseFormula(&vocab_, text);
+    EXPECT_TRUE(f.ok()) << f.status();
+    Evaluator eval(db_.get());
+    auto r = eval.Satisfies(f.value());
+    EXPECT_TRUE(r.ok()) << r.status();
+    return r.value_or(false);
+  }
+
+  Vocabulary vocab_;
+  ConstId socrates_, plato_;
+  PredId teaches_;
+  std::unique_ptr<PhysicalDatabase> db_;
+};
+
+TEST_F(EvalTest, AtomsAndEquality) {
+  EXPECT_TRUE(Sat("TEACHES(Socrates, Plato)"));
+  EXPECT_FALSE(Sat("TEACHES(Plato, Socrates)"));
+  EXPECT_TRUE(Sat("Socrates = Socrates"));
+  EXPECT_FALSE(Sat("Socrates = Plato"));
+  EXPECT_TRUE(Sat("Socrates != Plato"));
+}
+
+TEST_F(EvalTest, Connectives) {
+  EXPECT_TRUE(Sat("TEACHES(Socrates, Plato) & Socrates != Plato"));
+  EXPECT_FALSE(Sat("TEACHES(Socrates, Plato) & TEACHES(Plato, Plato)"));
+  EXPECT_TRUE(Sat("TEACHES(Plato, Plato) | true"));
+  EXPECT_TRUE(Sat("TEACHES(Plato, Plato) -> false"));
+  EXPECT_TRUE(Sat("TEACHES(Socrates, Plato) <-> Socrates != Plato"));
+  EXPECT_FALSE(Sat("!TEACHES(Socrates, Plato)"));
+}
+
+TEST_F(EvalTest, FirstOrderQuantifiers) {
+  EXPECT_TRUE(Sat("exists x. TEACHES(Socrates, x)"));
+  EXPECT_FALSE(Sat("forall x. TEACHES(Socrates, x)"));
+  EXPECT_TRUE(Sat("forall x y. TEACHES(x, y) -> x = Socrates"));
+  EXPECT_TRUE(Sat("exists x y. x != y"));
+  EXPECT_FALSE(Sat("exists x. TEACHES(x, x)"));
+}
+
+TEST_F(EvalTest, SecondOrderQuantifiers) {
+  // ∃S containing exactly Socrates.
+  EXPECT_TRUE(
+      Sat("exists2 S/1. S(Socrates) & !S(Plato)"));
+  // No unary S can both contain and omit Socrates.
+  EXPECT_FALSE(Sat("exists2 S/1. S(Socrates) & !S(Socrates)"));
+  // Every S is monotone w.r.t. itself.
+  EXPECT_TRUE(Sat("forall2 S/1. forall x. S(x) -> S(x)"));
+  // ∃ a binary T equal to TEACHES.
+  EXPECT_TRUE(
+      Sat("exists2 T/2. forall x y. T(x, y) <-> TEACHES(x, y)"));
+}
+
+TEST_F(EvalTest, SoQuantifierShadowsStoredPredicate) {
+  // Quantifying over a predicate variable named like a stored relation uses
+  // the binding, not the stored tuples.
+  EXPECT_TRUE(Sat("exists2 TEACHES/2. forall x y. !TEACHES(x, y)"));
+}
+
+TEST_F(EvalTest, SoSpaceGuard) {
+  EvalOptions opts;
+  opts.max_so_tuple_space = 1;
+  Evaluator eval(db_.get(), opts);
+  ASSERT_OK_AND_ASSIGN(FormulaPtr f,
+                       ParseFormula(&vocab_, "exists2 S/2. S(Plato, Plato)"));
+  auto r = eval.Satisfies(f);
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(EvalTest, LateConstantIsRejectedNotCrashed) {
+  // Interning a constant after the database is built must produce a clean
+  // error for formulas that mention it — and leave other queries working.
+  ASSERT_OK_AND_ASSIGN(FormulaPtr ghost,
+                       ParseFormula(&vocab_, "TEACHES(Zeus, Plato)"));
+  Evaluator eval(db_.get());
+  EXPECT_EQ(eval.Satisfies(ghost).status().code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_OK_AND_ASSIGN(FormulaPtr fine,
+                       ParseFormula(&vocab_, "TEACHES(Socrates, Plato)"));
+  ASSERT_OK_AND_ASSIGN(bool sat, eval.Satisfies(fine));
+  EXPECT_TRUE(sat);
+}
+
+TEST_F(EvalTest, UnboundFreeVariableIsRejected) {
+  Evaluator eval(db_.get());
+  ASSERT_OK_AND_ASSIGN(FormulaPtr f, ParseFormula(&vocab_, "TEACHES(x, y)"));
+  auto r = eval.Satisfies(f);
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(EvalTest, SatisfiesWithBindings) {
+  Evaluator eval(db_.get());
+  ASSERT_OK_AND_ASSIGN(FormulaPtr f, ParseFormula(&vocab_, "TEACHES(x, y)"));
+  VarId x = vocab_.FindVariable("x");
+  VarId y = vocab_.FindVariable("y");
+  ASSERT_OK_AND_ASSIGN(bool yes,
+                       eval.SatisfiesWith(f, {{x, socrates_}, {y, plato_}}));
+  EXPECT_TRUE(yes);
+  ASSERT_OK_AND_ASSIGN(bool no,
+                       eval.SatisfiesWith(f, {{x, plato_}, {y, socrates_}}));
+  EXPECT_FALSE(no);
+}
+
+TEST_F(EvalTest, AnswerEnumeratesTuples) {
+  Evaluator eval(db_.get());
+  ASSERT_OK_AND_ASSIGN(Query q,
+                       ParseQuery(&vocab_, "(x) . exists y. TEACHES(x, y)"));
+  ASSERT_OK_AND_ASSIGN(Relation answer, eval.Answer(q));
+  EXPECT_EQ(answer.size(), 1u);
+  EXPECT_TRUE(answer.Contains({socrates_}));
+}
+
+TEST_F(EvalTest, BooleanAnswerConvention) {
+  Evaluator eval(db_.get());
+  ASSERT_OK_AND_ASSIGN(Query yes,
+                       ParseQuery(&vocab_, "exists x. TEACHES(Socrates, x)"));
+  ASSERT_OK_AND_ASSIGN(Relation r1, eval.Answer(yes));
+  EXPECT_TRUE(BooleanAnswer(r1));
+
+  ASSERT_OK_AND_ASSIGN(Query no,
+                       ParseQuery(&vocab_, "exists x. TEACHES(x, x)"));
+  ASSERT_OK_AND_ASSIGN(Relation r2, eval.Answer(no));
+  EXPECT_FALSE(BooleanAnswer(r2));
+}
+
+TEST_F(EvalTest, HeadVariableAbsentFromBodyRangesOverDomain) {
+  Evaluator eval(db_.get());
+  ASSERT_OK_AND_ASSIGN(Query q, ParseQuery(&vocab_, "(x, w) . "
+                                                    "TEACHES(x, Plato)"));
+  ASSERT_OK_AND_ASSIGN(Relation answer, eval.Answer(q));
+  // w ranges over both domain elements.
+  EXPECT_EQ(answer.size(), 2u);
+}
+
+TEST_F(EvalTest, AnswerToStringIsSorted) {
+  Evaluator eval(db_.get());
+  ASSERT_OK_AND_ASSIGN(Query q, ParseQuery(&vocab_, "(x) . x = x"));
+  ASSERT_OK_AND_ASSIGN(Relation answer, eval.Answer(q));
+  EXPECT_EQ(AnswerToString(*db_, answer), "{(Socrates), (Plato)}");
+}
+
+TEST_F(EvalTest, VirtualProviderOverridesEmptyRelation) {
+  class EvenProvider : public VirtualRelationProvider {
+   public:
+    explicit EvenProvider(PredId p) : p_(p) {}
+    bool Provides(PredId pred) const override { return pred == p_; }
+    bool Contains(PredId, const Tuple& args) const override {
+      return args[0] % 2 == 0;
+    }
+   private:
+    PredId p_;
+  };
+  PredId even = vocab_.AddAuxiliaryPredicate("Even", 1).value();
+  EvenProvider provider(even);
+  Evaluator eval(db_.get());
+  eval.set_virtual_provider(&provider);
+  ASSERT_OK_AND_ASSIGN(FormulaPtr f,
+                       ParseFormula(&vocab_, "Even(Socrates) & !Even(Plato)"));
+  ASSERT_OK_AND_ASSIGN(bool sat, eval.Satisfies(f));
+  EXPECT_TRUE(sat);  // Socrates id 0 (even), Plato id 1 (odd)
+}
+
+TEST(NnfSemanticsTest, NnfPreservesTruthOnRandomWorlds) {
+  for (uint64_t seed = 0; seed < 60; ++seed) {
+    Rng rng(seed);
+    Vocabulary vocab;
+    ConstId a = vocab.AddConstant("A");
+    ConstId b = vocab.AddConstant("B");
+    ConstId c = vocab.AddConstant("C");
+    PredId p = vocab.AddPredicate("P0", 1).value();
+    PredId r = vocab.AddPredicate("R0", 2).value();
+
+    PhysicalDatabase db(&vocab);
+    db.InterpretConstantsAsThemselves();
+    for (Value v : {a, b, c}) {
+      if (rng.Chance(0.5)) ASSERT_OK(db.AddTuple(p, {v}));
+      for (Value w : {a, b, c}) {
+        if (rng.Chance(0.3)) ASSERT_OK(db.AddTuple(r, {v, w}));
+      }
+    }
+
+    RandomFormulaParams params;
+    params.free_vars = {};  // sentences
+    params.max_depth = 5;
+    FormulaPtr f = RandomFormula(&rng, &vocab, params);
+    FormulaPtr nnf = ToNnf(f);
+    ASSERT_TRUE(IsNnf(nnf));
+
+    Evaluator eval(&db);
+    ASSERT_OK_AND_ASSIGN(bool direct, eval.Satisfies(f));
+    ASSERT_OK_AND_ASSIGN(bool via_nnf, eval.Satisfies(nnf));
+    EXPECT_EQ(direct, via_nnf) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace lqdb

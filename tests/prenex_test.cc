@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "lqdb/eval/evaluator.h"
+#include "lqdb/logic/classify.h"
+#include "lqdb/logic/parser.h"
+#include "lqdb/logic/prenex.h"
+#include "lqdb/logic/printer.h"
+#include "lqdb/util/rng.h"
+#include "testing.h"
+
+namespace lqdb {
+namespace {
+
+using testing::RandomFormula;
+using testing::RandomFormulaParams;
+
+TEST(PrenexTest, AlreadyPrenexStaysPrenex) {
+  Vocabulary v;
+  ASSERT_OK_AND_ASSIGN(FormulaPtr f,
+                       ParseFormula(&v, "exists x. forall y. R(x, y)"));
+  ASSERT_OK_AND_ASSIGN(FormulaPtr p, ToPrenex(&v, f));
+  PrefixShape shape = ClassifyFoPrefix(p);
+  EXPECT_TRUE(shape.prenex);
+  EXPECT_EQ(shape.blocks, 2);
+  EXPECT_TRUE(shape.starts_existential);
+}
+
+TEST(PrenexTest, HoistsThroughConnectives) {
+  Vocabulary v;
+  ASSERT_OK_AND_ASSIGN(
+      FormulaPtr f,
+      ParseFormula(&v, "(exists x. P(x)) & (exists y. Q(y))"));
+  ASSERT_OK_AND_ASSIGN(FormulaPtr p, ToPrenex(&v, f));
+  EXPECT_TRUE(ClassifyFoPrefix(p).prenex);
+  // The matrix is the conjunction of the two atoms.
+  EXPECT_EQ(p->kind(), FormulaKind::kExists);
+  EXPECT_EQ(p->child()->kind(), FormulaKind::kExists);
+  EXPECT_EQ(p->child()->child()->kind(), FormulaKind::kAnd);
+}
+
+TEST(PrenexTest, NegationFlipsHoistedQuantifiers) {
+  Vocabulary v;
+  ASSERT_OK_AND_ASSIGN(FormulaPtr f,
+                       ParseFormula(&v, "!(exists x. P(x)) | Q(A)"));
+  ASSERT_OK_AND_ASSIGN(FormulaPtr p, ToPrenex(&v, f));
+  ASSERT_EQ(p->kind(), FormulaKind::kForall);
+  EXPECT_EQ(p->child()->kind(), FormulaKind::kOr);
+}
+
+TEST(PrenexTest, VariableClashesAreRenamedApart) {
+  Vocabulary v;
+  // The same x is bound twice; hoisting must keep them independent.
+  ASSERT_OK_AND_ASSIGN(
+      FormulaPtr f,
+      ParseFormula(&v, "(exists x. P(x)) & (forall x. Q(x))"));
+  ASSERT_OK_AND_ASSIGN(FormulaPtr p, ToPrenex(&v, f));
+  ASSERT_EQ(p->kind(), FormulaKind::kExists);
+  ASSERT_EQ(p->child()->kind(), FormulaKind::kForall);
+  EXPECT_NE(p->var(), p->child()->var());
+}
+
+TEST(PrenexTest, ImplicationAntecedentFlips) {
+  Vocabulary v;
+  ASSERT_OK_AND_ASSIGN(FormulaPtr f,
+                       ParseFormula(&v, "(forall x. P(x)) -> Q(A)"));
+  ASSERT_OK_AND_ASSIGN(FormulaPtr p, ToPrenex(&v, f));
+  // ∀ in the antecedent becomes ∃ after prenexing the NNF (¬∀ = ∃¬).
+  EXPECT_EQ(p->kind(), FormulaKind::kExists);
+}
+
+TEST(PrenexTest, RejectsSecondOrder) {
+  Vocabulary v;
+  ASSERT_OK_AND_ASSIGN(FormulaPtr f,
+                       ParseFormula(&v, "exists2 S/1. exists x. S(x)"));
+  EXPECT_EQ(ToPrenex(&v, f).status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(PrenexTest, PreservesSemanticsOnRandomWorlds) {
+  for (uint64_t seed = 200; seed < 260; ++seed) {
+    Rng rng(seed);
+    Vocabulary vocab;
+    ConstId a = vocab.AddConstant("A");
+    ConstId b = vocab.AddConstant("B");
+    ConstId c = vocab.AddConstant("C");
+    PredId p = vocab.AddPredicate("P0", 1).value();
+    PredId r = vocab.AddPredicate("R0", 2).value();
+
+    PhysicalDatabase db(&vocab);
+    db.InterpretConstantsAsThemselves();
+    for (Value x : {a, b, c}) {
+      if (rng.Chance(0.5)) ASSERT_OK(db.AddTuple(p, {x}));
+      for (Value y : {a, b, c}) {
+        if (rng.Chance(0.3)) ASSERT_OK(db.AddTuple(r, {x, y}));
+      }
+    }
+
+    RandomFormulaParams params;
+    params.free_vars = {};
+    params.max_depth = 5;
+    FormulaPtr f = RandomFormula(&rng, &vocab, params);
+    ASSERT_OK_AND_ASSIGN(FormulaPtr prenexed, ToPrenex(&vocab, f));
+    EXPECT_TRUE(ClassifyFoPrefix(prenexed).prenex)
+        << PrintFormula(vocab, prenexed);
+
+    Evaluator eval(&db);
+    ASSERT_OK_AND_ASSIGN(bool direct, eval.Satisfies(f));
+    ASSERT_OK_AND_ASSIGN(bool via_prenex, eval.Satisfies(prenexed));
+    EXPECT_EQ(direct, via_prenex)
+        << "seed " << seed << "\n  original: " << PrintFormula(vocab, f)
+        << "\n  prenexed: " << PrintFormula(vocab, prenexed);
+  }
+}
+
+TEST(PrenexTest, FreeVariablesAreUntouched) {
+  Vocabulary v;
+  ASSERT_OK_AND_ASSIGN(FormulaPtr f,
+                       ParseFormula(&v, "P(w) & exists x. R(w, x)"));
+  ASSERT_OK_AND_ASSIGN(FormulaPtr p, ToPrenex(&v, f));
+  std::set<VarId> free = FreeVariables(p);
+  EXPECT_EQ(free.size(), 1u);
+  EXPECT_TRUE(free.count(v.FindVariable("w")));
+}
+
+}  // namespace
+}  // namespace lqdb

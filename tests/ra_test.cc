@@ -1,0 +1,269 @@
+#include <gtest/gtest.h>
+
+#include "lqdb/eval/evaluator.h"
+#include "lqdb/logic/parser.h"
+#include "lqdb/ra/compiler.h"
+#include "lqdb/ra/executor.h"
+#include "lqdb/ra/plan.h"
+#include "lqdb/ra/sql.h"
+#include "lqdb/util/rng.h"
+#include "testing.h"
+
+namespace lqdb {
+namespace {
+
+using testing::RandomFormula;
+using testing::RandomFormulaParams;
+
+class RaTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    a_ = vocab_.AddConstant("A");
+    b_ = vocab_.AddConstant("B");
+    c_ = vocab_.AddConstant("C");
+    p_ = vocab_.AddPredicate("P", 1).value();
+    r_ = vocab_.AddPredicate("R", 2).value();
+    db_ = std::make_unique<PhysicalDatabase>(&vocab_);
+    db_->InterpretConstantsAsThemselves();
+    ASSERT_OK(db_->AddTuple(p_, {a_}));
+    ASSERT_OK(db_->AddTuple(p_, {b_}));
+    ASSERT_OK(db_->AddTuple(r_, {a_, b_}));
+    ASSERT_OK(db_->AddTuple(r_, {b_, c_}));
+    ASSERT_OK(db_->AddTuple(r_, {c_, c_}));
+  }
+
+  RaTable Exec(const PlanPtr& plan) {
+    RaExecutor ex(db_.get());
+    auto r = ex.Execute(plan);
+    EXPECT_TRUE(r.ok()) << r.status();
+    return std::move(r).value();
+  }
+
+  Vocabulary vocab_;
+  ConstId a_, b_, c_;
+  PredId p_, r_;
+  std::unique_ptr<PhysicalDatabase> db_;
+};
+
+TEST_F(RaTest, ScanProjectsVariables) {
+  VarId x = vocab_.AddVariable("x");
+  ASSERT_OK_AND_ASSIGN(
+      PlanPtr plan,
+      Plan::Scan(vocab_, r_, {Term::Variable(x), Term::Constant(c_)}));
+  RaTable t = Exec(plan);
+  EXPECT_EQ(t.schema, std::vector<VarId>{x});
+  EXPECT_EQ(t.rel.size(), 2u);  // (b, c) and (c, c) match column 1 = C
+  EXPECT_TRUE(t.rel.Contains({b_}));
+  EXPECT_TRUE(t.rel.Contains({c_}));
+}
+
+TEST_F(RaTest, ScanWithRepeatedVariableFilters) {
+  VarId x = vocab_.AddVariable("x");
+  ASSERT_OK_AND_ASSIGN(
+      PlanPtr plan,
+      Plan::Scan(vocab_, r_, {Term::Variable(x), Term::Variable(x)}));
+  RaTable t = Exec(plan);
+  EXPECT_EQ(t.rel.size(), 1u);
+  EXPECT_TRUE(t.rel.Contains({c_}));
+}
+
+TEST_F(RaTest, ScanChecksArity) {
+  VarId x = vocab_.AddVariable("x");
+  EXPECT_FALSE(Plan::Scan(vocab_, r_, {Term::Variable(x)}).ok());
+}
+
+TEST_F(RaTest, JoinOnSharedVariable) {
+  VarId x = vocab_.AddVariable("x");
+  VarId y = vocab_.AddVariable("y");
+  ASSERT_OK_AND_ASSIGN(PlanPtr scan_p, Plan::Scan(vocab_, p_,
+                                                  {Term::Variable(x)}));
+  ASSERT_OK_AND_ASSIGN(
+      PlanPtr scan_r,
+      Plan::Scan(vocab_, r_, {Term::Variable(x), Term::Variable(y)}));
+  ASSERT_OK_AND_ASSIGN(PlanPtr join, Plan::Join(scan_p, scan_r));
+  RaTable t = Exec(join);
+  EXPECT_EQ(t.schema, (std::vector<VarId>{x, y}));
+  EXPECT_EQ(t.rel.size(), 2u);  // (a,b), (b,c)
+  EXPECT_TRUE(t.rel.Contains({a_, b_}));
+  EXPECT_TRUE(t.rel.Contains({b_, c_}));
+}
+
+TEST_F(RaTest, JoinWithoutSharedVariablesIsProduct) {
+  VarId x = vocab_.AddVariable("x");
+  VarId y = vocab_.AddVariable("y");
+  ASSERT_OK_AND_ASSIGN(PlanPtr sp, Plan::Scan(vocab_, p_,
+                                              {Term::Variable(x)}));
+  ASSERT_OK_AND_ASSIGN(PlanPtr sq, Plan::Scan(vocab_, p_,
+                                              {Term::Variable(y)}));
+  ASSERT_OK_AND_ASSIGN(PlanPtr join, Plan::Join(sp, sq));
+  RaTable t = Exec(join);
+  EXPECT_EQ(t.rel.size(), 4u);
+}
+
+TEST_F(RaTest, AntiJoinKeepsNonMatching) {
+  VarId x = vocab_.AddVariable("x");
+  PlanPtr dom = Plan::DomainScan(x);
+  ASSERT_OK_AND_ASSIGN(PlanPtr sp, Plan::Scan(vocab_, p_,
+                                              {Term::Variable(x)}));
+  ASSERT_OK_AND_ASSIGN(PlanPtr anti, Plan::AntiJoin(dom, sp));
+  RaTable t = Exec(anti);
+  EXPECT_EQ(t.rel.size(), 1u);
+  EXPECT_TRUE(t.rel.Contains({c_}));
+}
+
+TEST_F(RaTest, UnionAlignsColumns) {
+  VarId x = vocab_.AddVariable("x");
+  VarId y = vocab_.AddVariable("y");
+  ASSERT_OK_AND_ASSIGN(
+      PlanPtr r1,
+      Plan::Scan(vocab_, r_, {Term::Variable(x), Term::Variable(y)}));
+  ASSERT_OK_AND_ASSIGN(
+      PlanPtr r2,
+      Plan::Scan(vocab_, r_, {Term::Variable(y), Term::Variable(x)}));
+  ASSERT_OK_AND_ASSIGN(PlanPtr u, Plan::Union(r1, r2));
+  RaTable t = Exec(u);
+  // R ∪ R⁻¹ as (x, y) tuples.
+  EXPECT_EQ(t.rel.size(), 5u);  // (a,b),(b,c),(c,c),(b,a),(c,b)
+}
+
+TEST_F(RaTest, UnionRejectsSchemaMismatch) {
+  VarId x = vocab_.AddVariable("x");
+  VarId y = vocab_.AddVariable("y");
+  PlanPtr dx = Plan::DomainScan(x);
+  PlanPtr dy = Plan::DomainScan(y);
+  EXPECT_FALSE(Plan::Union(dx, dy).ok());
+}
+
+TEST_F(RaTest, ProjectReordersAndDedups) {
+  VarId x = vocab_.AddVariable("x");
+  VarId y = vocab_.AddVariable("y");
+  ASSERT_OK_AND_ASSIGN(
+      PlanPtr scan,
+      Plan::Scan(vocab_, r_, {Term::Variable(x), Term::Variable(y)}));
+  ASSERT_OK_AND_ASSIGN(PlanPtr proj, Plan::Project(scan, {y}));
+  RaTable t = Exec(proj);
+  EXPECT_EQ(t.rel.size(), 2u);  // {b, c}
+  ASSERT_OK_AND_ASSIGN(PlanPtr swap, Plan::Project(scan, {y, x}));
+  RaTable t2 = Exec(swap);
+  EXPECT_TRUE(t2.rel.Contains({b_, a_}));
+}
+
+TEST_F(RaTest, ConstTuplesAndCompare) {
+  VarId x = vocab_.AddVariable("x");
+  ASSERT_OK_AND_ASSIGN(PlanPtr consts, Plan::ConstTuples({x}, {{a_}, {c_}}));
+  RaTable t = Exec(consts);
+  EXPECT_EQ(t.rel.size(), 2u);
+
+  RaTable eq = Exec(Plan::ConstCompare(a_, a_));
+  EXPECT_EQ(eq.rel.size(), 1u);
+  RaTable neq = Exec(Plan::ConstCompare(a_, b_));
+  EXPECT_TRUE(neq.rel.empty());
+}
+
+TEST_F(RaTest, EqDomain) {
+  VarId x = vocab_.AddVariable("x");
+  VarId y = vocab_.AddVariable("y");
+  ASSERT_OK_AND_ASSIGN(PlanPtr eq, Plan::EqDomain(x, y));
+  RaTable t = Exec(eq);
+  EXPECT_EQ(t.rel.size(), 3u);
+  EXPECT_TRUE(t.rel.Contains({a_, a_}));
+  EXPECT_FALSE(Plan::EqDomain(x, x).ok());
+}
+
+TEST_F(RaTest, PlanToStringShowsTree) {
+  VarId x = vocab_.AddVariable("x");
+  ASSERT_OK_AND_ASSIGN(PlanPtr sp, Plan::Scan(vocab_, p_,
+                                              {Term::Variable(x)}));
+  ASSERT_OK_AND_ASSIGN(PlanPtr anti, Plan::AntiJoin(Plan::DomainScan(x), sp));
+  std::string s = anti->ToString(vocab_);
+  EXPECT_NE(s.find("AntiJoin"), std::string::npos);
+  EXPECT_NE(s.find("Scan P"), std::string::npos);
+  EXPECT_EQ(anti->NumNodes(), 3u);
+}
+
+class CompilerEquivalenceTest : public RaTest {};
+
+TEST_F(CompilerEquivalenceTest, CompiledQueriesMatchEvaluator) {
+  const char* queries[] = {
+      "(x) . P(x)",
+      "(x) . !P(x)",
+      "(x, y) . R(x, y) & P(x)",
+      "(x, y) . R(x, y) | R(y, x)",
+      "(x) . exists y. R(x, y)",
+      "(x) . forall y. R(x, y) -> P(y)",
+      "(x) . P(x) & !(exists y. R(y, x))",
+      "(x) . x = A | x = B",
+      "(x, y) . x = y & P(x)",
+      "(x) . P(x) <-> x = C",
+      "exists x. forall y. R(x, y) -> x = y",
+      "(x) . !(P(x) & !P(x))",
+      "(x, y) . !R(x, y)",
+      "(w) . true",
+      "(x) . false",
+      "(x) . A = A & P(x)",
+      "(x) . A = B | P(x)",
+  };
+  for (const char* text : queries) {
+    ASSERT_OK_AND_ASSIGN(Query q, ParseQuery(&vocab_, text));
+    Evaluator eval(db_.get());
+    ASSERT_OK_AND_ASSIGN(Relation expected, eval.Answer(q));
+
+    RaCompiler compiler(&vocab_);
+    ASSERT_OK_AND_ASSIGN(PlanPtr plan, compiler.Compile(q));
+    RaExecutor ex(db_.get());
+    ASSERT_OK_AND_ASSIGN(RaTable got, ex.Execute(plan));
+    EXPECT_EQ(got.rel, expected) << "query: " << text;
+  }
+}
+
+TEST_F(CompilerEquivalenceTest, RandomFormulasAgree) {
+  for (uint64_t seed = 100; seed < 160; ++seed) {
+    Rng rng(seed);
+    RandomFormulaParams params;
+    params.free_vars = {"hx", "hy"};
+    params.max_depth = 4;
+    FormulaPtr body = RandomFormula(&rng, &vocab_, params);
+    std::vector<VarId> head = {vocab_.AddVariable("hx"),
+                               vocab_.AddVariable("hy")};
+    ASSERT_OK_AND_ASSIGN(Query q, Query::Make(head, body));
+
+    Evaluator eval(db_.get());
+    ASSERT_OK_AND_ASSIGN(Relation expected, eval.Answer(q));
+
+    RaCompiler compiler(&vocab_);
+    ASSERT_OK_AND_ASSIGN(PlanPtr plan, compiler.Compile(q));
+    RaExecutor ex(db_.get());
+    ASSERT_OK_AND_ASSIGN(RaTable got, ex.Execute(plan));
+    EXPECT_EQ(got.rel, expected) << "seed " << seed;
+  }
+}
+
+TEST_F(CompilerEquivalenceTest, SecondOrderIsRejected) {
+  ASSERT_OK_AND_ASSIGN(Query q,
+                       ParseQuery(&vocab_, "exists2 S/1. exists x. S(x)"));
+  RaCompiler compiler(&vocab_);
+  EXPECT_EQ(compiler.Compile(q).status().code(), StatusCode::kUnimplemented);
+}
+
+TEST_F(RaTest, SqlEmitterCoversOperators) {
+  ASSERT_OK_AND_ASSIGN(
+      Query q,
+      ParseQuery(&vocab_, "(x) . P(x) & !(exists y. R(x, y)) | x = A"));
+  RaCompiler compiler(&vocab_);
+  ASSERT_OK_AND_ASSIGN(PlanPtr plan, compiler.Compile(q));
+  std::string sql = EmitSql(vocab_, plan);
+  EXPECT_NE(sql.find("SELECT"), std::string::npos);
+  EXPECT_NE(sql.find("NOT EXISTS"), std::string::npos);
+  EXPECT_NE(sql.find("UNION"), std::string::npos);
+  EXPECT_NE(sql.find("FROM R"), std::string::npos);
+}
+
+TEST_F(RaTest, SqlEmitterQuotesConstants) {
+  ASSERT_OK_AND_ASSIGN(Query q, ParseQuery(&vocab_, "(x) . R(x, A)"));
+  RaCompiler compiler(&vocab_);
+  ASSERT_OK_AND_ASSIGN(PlanPtr plan, compiler.Compile(q));
+  EXPECT_NE(EmitSql(vocab_, plan).find("'A'"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lqdb

@@ -1,0 +1,275 @@
+#include <gtest/gtest.h>
+
+#include "lqdb/exact/exact.h"
+#include "lqdb/logic/classify.h"
+#include "lqdb/logic/printer.h"
+#include "lqdb/reductions/coloring.h"
+#include "lqdb/reductions/graph.h"
+#include "lqdb/reductions/qbf.h"
+#include "lqdb/reductions/qbf_reduction.h"
+#include "lqdb/reductions/so_reduction.h"
+#include "testing.h"
+
+namespace lqdb {
+namespace {
+
+TEST(GraphTest, GeneratorsHaveExpectedShape) {
+  Graph c5 = CycleGraph(5);
+  EXPECT_EQ(c5.num_vertices(), 5);
+  EXPECT_EQ(c5.num_edges(), 5u);
+
+  Graph k4 = CompleteGraph(4);
+  EXPECT_EQ(k4.num_edges(), 6u);
+
+  Graph petersen = PetersenGraph();
+  EXPECT_EQ(petersen.num_vertices(), 10);
+  EXPECT_EQ(petersen.num_edges(), 15u);
+
+  Graph kab = CompleteBipartiteGraph(2, 3);
+  EXPECT_EQ(kab.num_edges(), 6u);
+
+  Graph dup(3);
+  dup.AddEdge(0, 1);
+  dup.AddEdge(1, 0);
+  dup.AddEdge(2, 2);  // self-loops dropped
+  EXPECT_EQ(dup.num_edges(), 1u);
+}
+
+TEST(GraphTest, RandomGraphIsDeterministic) {
+  Graph a = RandomGraph(8, 0.4, 42);
+  Graph b = RandomGraph(8, 0.4, 42);
+  EXPECT_EQ(a.edges(), b.edges());
+}
+
+TEST(ColoringSolverTest, KnownChromaticNumbers) {
+  EXPECT_TRUE(IsKColorable(CycleGraph(4), 2));
+  EXPECT_FALSE(IsKColorable(CycleGraph(5), 2));
+  EXPECT_TRUE(IsKColorable(CycleGraph(5), 3));
+  EXPECT_TRUE(IsKColorable(CompleteGraph(3), 3));
+  EXPECT_FALSE(IsKColorable(CompleteGraph(4), 3));
+  EXPECT_TRUE(IsKColorable(PetersenGraph(), 3));
+  EXPECT_TRUE(IsKColorable(CompleteBipartiteGraph(3, 3), 2));
+}
+
+TEST(ColoringSolverTest, WitnessIsAProperColoring) {
+  Graph g = PetersenGraph();
+  std::vector<int> colors;
+  ASSERT_TRUE(IsKColorable(g, 3, &colors));
+  ASSERT_EQ(colors.size(), 10u);
+  for (const auto& [u, v] : g.edges()) {
+    EXPECT_NE(colors[u], colors[v]);
+    EXPECT_GE(colors[u], 0);
+    EXPECT_LT(colors[u], 3);
+  }
+}
+
+/// Theorem 5(2): G is 3-colorable iff the reduction query is NOT certain.
+TEST(ColoringReductionTest, AgreesWithSolverOnNamedGraphs) {
+  struct Case {
+    const char* name;
+    Graph graph;
+  };
+  const Case cases[] = {
+      {"K3", CompleteGraph(3)},       {"K4", CompleteGraph(4)},
+      {"C4", CycleGraph(4)},          {"C5", CycleGraph(5)},
+      {"C7", CycleGraph(7)},          {"K23", CompleteBipartiteGraph(2, 3)},
+      {"singleton", Graph(1)},
+  };
+  for (const Case& c : cases) {
+    ASSERT_OK_AND_ASSIGN(ColoringReduction red,
+                         BuildColoringReduction(c.graph));
+    ExactEvaluator exact(&red.lb);
+    ASSERT_OK_AND_ASSIGN(bool certain, exact.Contains(red.query, {}));
+    EXPECT_EQ(!certain, IsKColorable(c.graph, 3)) << c.name;
+  }
+}
+
+TEST(ColoringReductionTest, AgreesWithSolverOnRandomGraphs) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    // Dense small graphs so both answers occur.
+    Graph g = RandomGraph(5, 0.75, seed);
+    ASSERT_OK_AND_ASSIGN(ColoringReduction red, BuildColoringReduction(g));
+    ExactEvaluator exact(&red.lb);
+    ASSERT_OK_AND_ASSIGN(bool certain, exact.Contains(red.query, {}));
+    EXPECT_EQ(!certain, IsKColorable(g, 3)) << "seed " << seed;
+  }
+}
+
+TEST(ColoringReductionTest, DatabaseShapeMatchesThePaper) {
+  Graph g = CycleGraph(3);
+  ASSERT_OK_AND_ASSIGN(ColoringReduction red, BuildColoringReduction(g));
+  // Constants: 1, 2, 3 and one per vertex.
+  EXPECT_EQ(red.lb.num_constants(), 6u);
+  // Exactly the three uniqueness axioms among the colors.
+  EXPECT_EQ(red.lb.AllDistinctPairs().size(), 3u);
+  // Facts: M(1..3) plus one R fact per edge.
+  EXPECT_EQ(red.lb.NumFacts(), 3u + g.num_edges());
+  EXPECT_FALSE(red.lb.IsFullySpecified());
+}
+
+TEST(QbfSolverTest, HandComputedFormulas) {
+  // ∀x ∃y (x ↔ y): true.
+  {
+    Qbf qbf;
+    qbf.block_sizes = {1, 1};
+    BoolExprPtr x = BoolExpr::Var({0, 0});
+    BoolExprPtr y = BoolExpr::Var({1, 0});
+    qbf.matrix = BoolExpr::Or(
+        {BoolExpr::And({x, y}),
+         BoolExpr::And({BoolExpr::Not(x), BoolExpr::Not(y)})});
+    EXPECT_TRUE(EvalQbf(qbf));
+  }
+  // ∀x ∃y (x ∧ y): false.
+  {
+    Qbf qbf;
+    qbf.block_sizes = {1, 1};
+    qbf.matrix =
+        BoolExpr::And({BoolExpr::Var({0, 0}), BoolExpr::Var({1, 0})});
+    EXPECT_FALSE(EvalQbf(qbf));
+  }
+  // ∀x (x ∨ ¬x): true.
+  {
+    Qbf qbf;
+    qbf.block_sizes = {1};
+    BoolExprPtr x = BoolExpr::Var({0, 0});
+    qbf.matrix = BoolExpr::Or({x, BoolExpr::Not(x)});
+    EXPECT_TRUE(EvalQbf(qbf));
+  }
+}
+
+namespace {
+
+/// Independent decision procedure for 3CNF QBFs: recursive block
+/// quantification with direct clause checking (no BoolExpr involved).
+bool EvalCnfDirect(const Qbf3Cnf& cnf, size_t block,
+                   std::vector<std::vector<bool>>* a) {
+  if (block == cnf.block_sizes.size()) {
+    for (const Cnf3Clause& clause : cnf.clauses) {
+      bool sat = false;
+      for (const Cnf3Literal& lit : clause) {
+        if ((*a)[lit.var.block][lit.var.index] == lit.positive) sat = true;
+      }
+      if (!sat) return false;
+    }
+    return true;
+  }
+  const bool universal = block % 2 == 0;
+  const int m = cnf.block_sizes[block];
+  for (uint64_t mask = 0; mask < (1ull << m); ++mask) {
+    for (int i = 0; i < m; ++i) (*a)[block][i] = (mask >> i) & 1;
+    bool sub = EvalCnfDirect(cnf, block + 1, a);
+    if (universal && !sub) return false;
+    if (!universal && sub) return true;
+  }
+  return universal;
+}
+
+}  // namespace
+
+TEST(QbfSolverTest, CnfConversionPreservesTruth) {
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    Qbf3Cnf cnf = RandomQbf3Cnf({2, 2}, 4, seed);
+    std::vector<std::vector<bool>> a;
+    for (int m : cnf.block_sizes) a.emplace_back(m, false);
+    EXPECT_EQ(EvalQbf(cnf.ToQbf()), EvalCnfDirect(cnf, 0, &a)) << seed;
+  }
+}
+
+/// Theorem 7: the Σₖ query is certain iff the QBF is true.
+TEST(QbfReductionTest, AgreesWithSolverOnRandomInstances) {
+  const std::vector<std::vector<int>> shapes = {
+      {2},        // k = 0: pure universal block
+      {2, 2},     // k = 1
+      {1, 2, 1},  // k = 2
+      {2, 1, 2},  // k = 2
+  };
+  for (const auto& shape : shapes) {
+    for (uint64_t seed = 0; seed < 8; ++seed) {
+      Qbf qbf = RandomQbf(shape, 6, seed);
+      ASSERT_OK_AND_ASSIGN(QbfReduction red, BuildQbfReduction(qbf));
+      ExactEvaluator exact(&red.lb);
+      ASSERT_OK_AND_ASSIGN(bool certain, exact.Contains(red.query, {}));
+      EXPECT_EQ(certain, EvalQbf(qbf))
+          << "shape {" << shape.size() << " blocks} seed " << seed << "\n"
+          << qbf.matrix->ToString() << "\n"
+          << PrintQuery(red.lb.vocab(), red.query);
+    }
+  }
+}
+
+TEST(QbfReductionTest, QueryShapeIsSigmaK) {
+  // A 3-block B_{k+1} formula (k = 2) must produce a Σ₂ first-order query:
+  // prefix ∃... ∀..., matrix quantifier-free.
+  Qbf qbf = RandomQbf({1, 2, 2}, 5, 7);
+  ASSERT_OK_AND_ASSIGN(QbfReduction red, BuildQbfReduction(qbf));
+  EXPECT_TRUE(IsFirstOrder(red.query.body()));
+  EXPECT_TRUE(InSigmaFoK(red.query.body(), 2));
+  PrefixShape shape = ClassifyFoPrefix(red.query.body());
+  EXPECT_TRUE(shape.prenex);
+  EXPECT_TRUE(shape.starts_existential);
+}
+
+TEST(QbfReductionTest, DatabaseShapeMatchesThePaper) {
+  Qbf qbf = RandomQbf({3, 2}, 4, 11);
+  ASSERT_OK_AND_ASSIGN(QbfReduction red, BuildQbfReduction(qbf));
+  // Constants 0, 1 and c_1..c_3.
+  EXPECT_EQ(red.lb.num_constants(), 5u);
+  // Single uniqueness axiom ¬(0 = 1).
+  EXPECT_EQ(red.lb.AllDistinctPairs().size(), 1u);
+  // Facts: M(1), N_j(c_j).
+  EXPECT_EQ(red.lb.NumFacts(), 4u);
+}
+
+/// Theorem 9: the Σ¹ₖ second-order query is certain iff the QBF is true.
+TEST(SoReductionTest, AgreesWithSolverOnRandomInstances) {
+  const std::vector<std::vector<int>> shapes = {
+      {2},        // k = 0
+      {2, 2},     // k = 1
+      {1, 1, 2},  // k = 2
+  };
+  for (const auto& shape : shapes) {
+    for (uint64_t seed = 0; seed < 6; ++seed) {
+      Qbf3Cnf cnf = RandomQbf3Cnf(shape, 4, seed);
+      ASSERT_OK_AND_ASSIGN(SoReduction red, BuildSoReduction(cnf));
+      ExactEvaluator exact(&red.lb);
+      ASSERT_OK_AND_ASSIGN(bool certain, exact.Contains(red.query, {}));
+      EXPECT_EQ(certain, EvalQbf(cnf.ToQbf()))
+          << "blocks " << shape.size() << " seed " << seed << "\n"
+          << PrintQuery(red.lb.vocab(), red.query);
+    }
+  }
+}
+
+TEST(SoReductionTest, QueryShapeIsSigma1K) {
+  Qbf3Cnf cnf = RandomQbf3Cnf({1, 1, 1}, 3, 3);  // k = 2
+  ASSERT_OK_AND_ASSIGN(SoReduction red, BuildSoReduction(cnf));
+  EXPECT_FALSE(IsFirstOrder(red.query.body()));
+  EXPECT_TRUE(InSigmaSoK(red.query.body(), 2));
+  PrefixShape shape = ClassifySoPrefix(red.query.body());
+  EXPECT_TRUE(shape.prenex);
+  EXPECT_EQ(shape.blocks, 2);
+  EXPECT_TRUE(shape.starts_existential);
+}
+
+TEST(SoReductionTest, QueryDependsOnlyOnClauseShapes) {
+  // Two instances with the same clause shapes but different variables must
+  // produce structurally equal queries (data complexity: the query is
+  // fixed).
+  Qbf3Cnf a;
+  a.block_sizes = {2, 1};
+  a.clauses.push_back(Cnf3Clause{Cnf3Literal{{0, 0}, true},
+                                 Cnf3Literal{{0, 1}, false},
+                                 Cnf3Literal{{1, 0}, true}});
+  Qbf3Cnf b;
+  b.block_sizes = {2, 1};
+  b.clauses.push_back(Cnf3Clause{Cnf3Literal{{0, 1}, true},
+                                 Cnf3Literal{{0, 0}, false},
+                                 Cnf3Literal{{1, 0}, true}});
+  ASSERT_OK_AND_ASSIGN(SoReduction ra, BuildSoReduction(a));
+  ASSERT_OK_AND_ASSIGN(SoReduction rb, BuildSoReduction(b));
+  EXPECT_EQ(PrintQuery(ra.lb.vocab(), ra.query),
+            PrintQuery(rb.lb.vocab(), rb.query));
+}
+
+}  // namespace
+}  // namespace lqdb

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace lqdb {
+namespace {
+
+#ifndef LQDB_SHELL_BINARY
+#define LQDB_SHELL_BINARY "lqdb_shell"
+#endif
+
+/// Runs the shell on a script in batch mode and captures stdout.
+std::string RunShellScript(const std::string& script_body) {
+  const std::string script_path =
+      ::testing::TempDir() + "/shell_test_script.txt";
+  {
+    std::ofstream out(script_path);
+    out << script_body;
+  }
+  std::string cmd = std::string(LQDB_SHELL_BINARY) + " --batch " +
+                    script_path + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr);
+  std::string output;
+  char buffer[512];
+  while (pipe != nullptr && fgets(buffer, sizeof(buffer), pipe) != nullptr) {
+    output += buffer;
+  }
+  if (pipe != nullptr) pclose(pipe);
+  std::remove(script_path.c_str());
+  return output;
+}
+
+TEST(ShellTest, AnswersQueriesEndToEnd) {
+  std::string out = RunShellScript(R"(unknown Jack
+fact MURDERER(Jack)
+known Victoria Disraeli
+distinct Jack Victoria
+exact (x) . !MURDERER(x)
+approx (x) . !MURDERER(x)
+physical (x) . !MURDERER(x)
+)");
+  // Exact and approx agree: only Victoria is provably innocent.
+  size_t first = out.find("{(Victoria)}");
+  ASSERT_NE(first, std::string::npos) << out;
+  EXPECT_NE(out.find("{(Victoria)}", first + 1), std::string::npos) << out;
+  // The physical engine wrongly clears Disraeli and Victoria both.
+  EXPECT_NE(out.find("{(Victoria), (Disraeli)}"), std::string::npos) << out;
+}
+
+TEST(ShellTest, PossibleAnswers) {
+  std::string out = RunShellScript(R"(unknown Jack
+fact MURDERER(Jack)
+known Victoria
+distinct Jack Victoria
+possible (x) . MURDERER(x)
+)");
+  // Jack is possible (certain, even); Victoria is excluded by the axiom.
+  EXPECT_NE(out.find("{(Jack)}"), std::string::npos) << out;
+}
+
+TEST(ShellTest, ShowAndTheory) {
+  std::string out = RunShellScript(R"(fact TEACHES(Socrates, Plato)
+show
+theory
+)");
+  EXPECT_NE(out.find("fully specified: yes"), std::string::npos) << out;
+  EXPECT_NE(out.find("TEACHES(Socrates, Plato)"), std::string::npos) << out;
+  EXPECT_NE(out.find("domain closure"), std::string::npos) << out;
+}
+
+TEST(ShellTest, PlanShowsRaAndSql) {
+  std::string out = RunShellScript(R"(fact P(A)
+known B
+plan (x) . !P(x)
+)");
+  EXPECT_NE(out.find("Q^ ="), std::string::npos) << out;
+  EXPECT_NE(out.find("__alpha_P"), std::string::npos) << out;
+  EXPECT_NE(out.find("SQL:"), std::string::npos) << out;
+  EXPECT_NE(out.find("SELECT"), std::string::npos) << out;
+}
+
+TEST(ShellTest, SaveAndLoadRoundTrip) {
+  const std::string db_path = ::testing::TempDir() + "/shell_roundtrip.lqdb";
+  std::string out = RunShellScript("fact R(A, B)\nsave " + db_path +
+                                   "\nload " + db_path +
+                                   "\nexact (x) . exists y. R(x, y)\n");
+  EXPECT_NE(out.find("loaded 2 constants, 1 facts"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("{(A)}"), std::string::npos) << out;
+  std::remove(db_path.c_str());
+}
+
+TEST(ShellTest, ReportsErrorsWithoutDying) {
+  std::string out = RunShellScript(R"(known A
+exact this is not ( a query
+frobnicate
+fact Broken(
+exact true
+)");
+  EXPECT_NE(out.find("error:"), std::string::npos) << out;
+  EXPECT_NE(out.find("unknown command"), std::string::npos) << out;
+  // Still alive for the final valid query: true holds in every model.
+  EXPECT_NE(out.find("{()}"), std::string::npos) << out;
+}
+
+}  // namespace
+}  // namespace lqdb

@@ -1,0 +1,35 @@
+// Verifies the umbrella header is self-contained and exposes the full
+// public API under a single include.
+#include "lqdb/lqdb.h"
+
+#include <gtest/gtest.h>
+
+namespace lqdb {
+namespace {
+
+TEST(UmbrellaHeaderTest, EndToEndThroughSingleInclude) {
+  CwDatabase lb;
+  ConstId jack = lb.AddUnknownConstant("Jack");
+  ASSERT_TRUE(lb.AddFact("MURDERER", {"Jack"}).ok());
+  lb.AddKnownConstant("Victoria");
+  ASSERT_TRUE(lb.AddDistinct("Jack", "Victoria").ok());
+  (void)jack;
+
+  auto q = ParseQuery(lb.mutable_vocab(), "(x) . !MURDERER(x)");
+  ASSERT_TRUE(q.ok());
+
+  ExactEvaluator exact(&lb);
+  auto certain = exact.Answer(q.value());
+  ASSERT_TRUE(certain.ok());
+
+  auto approx = ApproxEvaluator::Make(&lb);
+  ASSERT_TRUE(approx.ok());
+  auto sound = approx.value()->Answer(q.value());
+  ASSERT_TRUE(sound.ok());
+
+  EXPECT_TRUE(sound.value().IsSubsetOf(certain.value()));
+  EXPECT_EQ(certain.value().size(), 1u);
+}
+
+}  // namespace
+}  // namespace lqdb

@@ -1,0 +1,214 @@
+// lqdb_shell — an interactive front end for CW logical databases.
+//
+// Loads a database in the lqdb text format (see src/lqdb/io/text_format.h)
+// and answers queries with any of the engines in the library:
+//
+//     $ lqdb_shell mydb.lqdb
+//     lqdb> exact (x) . !MURDERER(x)
+//     {(Victoria)}
+//     lqdb> approx (x) . !MURDERER(x)
+//     {(Victoria)}
+//
+// Run `help` inside the shell for the command list. A script path may be
+// passed as argv[1]; with `--batch` the shell exits at end of input
+// instead of switching to stdin.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "lqdb/approx/approx.h"
+#include "lqdb/cwdb/cw_database.h"
+#include "lqdb/cwdb/ph.h"
+#include "lqdb/cwdb/theory.h"
+#include "lqdb/eval/answer.h"
+#include "lqdb/eval/evaluator.h"
+#include "lqdb/exact/exact.h"
+#include "lqdb/io/text_format.h"
+#include "lqdb/logic/parser.h"
+#include "lqdb/logic/printer.h"
+#include "lqdb/ra/compiler.h"
+#include "lqdb/ra/sql.h"
+
+namespace lqdb {
+namespace {
+
+constexpr const char* kHelp = R"(commands:
+  load FILE              load a database (lqdb text format)
+  save FILE              write the database back to disk
+  show                   print constants, facts and axiom counts
+  theory                 print the implied first-order theory T
+  fact P(c1, c2, ...)    add an atomic fact
+  known NAME...          declare constants with known identity
+  unknown NAME...        declare null values
+  distinct A B           add the uniqueness axiom not(A = B)
+  exact QUERY            certain answers (Theorem 1; may be exponential)
+  possible QUERY         tuples holding in at least one model
+  approx QUERY           sound polynomial approximation (Section 5)
+  physical QUERY         naive evaluation over Ph1 (ignores nulls!)
+  plan QUERY             show Q^, its relational-algebra plan and SQL
+  help                   this text
+  quit                   leave
+query syntax:  (x, y) . exists z. R(x, z) & !S(z, y)   or a sentence)";
+
+class Shell {
+ public:
+  Shell() : lb_(std::make_unique<CwDatabase>()) {}
+
+  /// Returns false when the shell should exit.
+  bool Handle(const std::string& line) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd.empty() || cmd[0] == '#') return true;
+    std::string rest;
+    std::getline(in, rest);
+    while (!rest.empty() && rest.front() == ' ') rest.erase(0, 1);
+
+    if (cmd == "quit" || cmd == "exit") return false;
+    if (cmd == "help") {
+      std::puts(kHelp);
+    } else if (cmd == "load") {
+      auto loaded = LoadCwDatabase(rest);
+      if (!loaded.ok()) {
+        Report(loaded.status());
+      } else {
+        lb_ = std::move(loaded).value();
+        std::printf("loaded %zu constants, %zu facts, %zu explicit axioms\n",
+                    lb_->num_constants(), lb_->NumFacts(),
+                    lb_->explicit_distinct().size());
+      }
+    } else if (cmd == "save") {
+      Report(SaveCwDatabase(*lb_, rest));
+    } else if (cmd == "show") {
+      Show();
+    } else if (cmd == "theory") {
+      Theory theory = TheoryOf(lb_.get());
+      std::printf("%s", PrintTheory(lb_->vocab(), theory).c_str());
+    } else if (cmd == "fact") {
+      // Reuse the text-format parser for one directive.
+      auto merged = ParseCwDatabase(SerializeCwDatabase(*lb_) +
+                                    "\nfact " + rest + "\n");
+      if (!merged.ok()) {
+        Report(merged.status());
+      } else {
+        lb_ = std::move(merged).value();
+      }
+    } else if (cmd == "known" || cmd == "unknown" || cmd == "distinct") {
+      auto merged = ParseCwDatabase(SerializeCwDatabase(*lb_) + "\n" + cmd +
+                                    " " + rest + "\n");
+      if (!merged.ok()) {
+        Report(merged.status());
+      } else {
+        lb_ = std::move(merged).value();
+      }
+    } else if (cmd == "exact" || cmd == "possible" || cmd == "approx" ||
+               cmd == "physical" || cmd == "plan") {
+      RunQuery(cmd, rest);
+    } else {
+      std::printf("unknown command '%s' (try 'help')\n", cmd.c_str());
+    }
+    return true;
+  }
+
+ private:
+  void Report(const Status& status) {
+    if (!status.ok()) std::printf("error: %s\n", status.ToString().c_str());
+  }
+
+  void Show() {
+    std::string known, unknown;
+    for (ConstId c = 0; c < lb_->num_constants(); ++c) {
+      (lb_->IsKnown(c) ? known : unknown) +=
+          " " + lb_->vocab().ConstantName(c);
+    }
+    std::printf("known:%s\nunknown:%s\n", known.c_str(), unknown.c_str());
+    PhysicalDatabase ph1 = MakePh1(*lb_);
+    std::printf("%s", ph1.ToString().c_str());
+    std::printf("uniqueness axioms: %zu (%zu explicit)\nfully specified: %s\n",
+                lb_->CountDistinctPairs(), lb_->explicit_distinct().size(),
+                lb_->IsFullySpecified() ? "yes" : "no");
+  }
+
+  void RunQuery(const std::string& engine, const std::string& text) {
+    auto query = ParseQuery(lb_->mutable_vocab(), text);
+    if (!query.ok()) {
+      Report(query.status());
+      return;
+    }
+    PhysicalDatabase ph1 = MakePh1(*lb_);
+    if (engine == "exact" || engine == "possible") {
+      ExactEvaluator exact(lb_.get());
+      auto answer = engine == "exact" ? exact.Answer(query.value())
+                                      : exact.PossibleAnswer(query.value());
+      if (!answer.ok()) return Report(answer.status());
+      std::printf("%s\n", AnswerToString(ph1, answer.value()).c_str());
+    } else if (engine == "approx") {
+      auto approx = ApproxEvaluator::Make(lb_.get());
+      if (!approx.ok()) return Report(approx.status());
+      auto answer = approx.value()->Answer(query.value());
+      if (!answer.ok()) return Report(answer.status());
+      std::printf("%s\n", AnswerToString(ph1, answer.value()).c_str());
+    } else if (engine == "physical") {
+      Evaluator eval(&ph1);
+      auto answer = eval.Answer(query.value());
+      if (!answer.ok()) return Report(answer.status());
+      std::printf("%s\n", AnswerToString(ph1, answer.value()).c_str());
+    } else {  // plan
+      auto approx = ApproxEvaluator::Make(lb_.get());
+      if (!approx.ok()) return Report(approx.status());
+      auto tq = approx.value()->Transform(query.value());
+      if (!tq.ok()) return Report(tq.status());
+      std::printf("Q^ = %s\n", PrintQuery(lb_->vocab(), tq->query).c_str());
+      RaCompiler compiler(&lb_->vocab());
+      auto plan = compiler.Compile(tq->query);
+      if (!plan.ok()) return Report(plan.status());
+      std::printf("%s", plan.value()->ToString(lb_->vocab()).c_str());
+      std::printf("SQL:\n%s\n", EmitSql(lb_->vocab(), plan.value()).c_str());
+    }
+  }
+
+  std::unique_ptr<CwDatabase> lb_;
+};
+
+int Run(int argc, char** argv) {
+  Shell shell;
+  bool batch = false;
+  std::string script;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--batch") {
+      batch = true;
+    } else {
+      script = arg;
+    }
+  }
+  if (!script.empty()) {
+    std::ifstream in(script);
+    if (!in) {
+      std::fprintf(stderr, "cannot open script '%s'\n", script.c_str());
+      return 1;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!shell.Handle(line)) return 0;
+    }
+    if (batch) return 0;
+  }
+  std::string line;
+  std::printf("lqdb shell — 'help' for commands\n");
+  while (true) {
+    std::printf("lqdb> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (!shell.Handle(line)) break;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace lqdb
+
+int main(int argc, char** argv) { return lqdb::Run(argc, argv); }
