@@ -1,0 +1,40 @@
+# Third-party test/bench dependencies for lqdb.
+#
+# Prefer the system-installed packages (the CI image and dev container bake
+# them in); fall back to FetchContent for a from-scratch checkout with
+# network access. Neither dependency is needed by the lqdb library itself.
+
+include(FetchContent)
+
+function(lqdb_provide_googletest)
+  find_package(GTest QUIET)
+  if(GTest_FOUND)
+    return()
+  endif()
+  message(STATUS "System GoogleTest not found; fetching with FetchContent")
+  FetchContent_Declare(
+    googletest
+    URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.tar.gz
+    URL_HASH SHA256=8ad598c73ad796e0d8280b082cebd82a630d73e73cd3c70057938a6501bba5d7)
+  set(gtest_force_shared_crt ON CACHE BOOL "" FORCE)
+  set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+  FetchContent_MakeAvailable(googletest)
+  if(NOT TARGET GTest::gtest_main)
+    add_library(GTest::gtest_main ALIAS gtest_main)
+  endif()
+endfunction()
+
+function(lqdb_provide_benchmark)
+  find_package(benchmark QUIET)
+  if(benchmark_FOUND)
+    return()
+  endif()
+  message(STATUS "System google-benchmark not found; fetching with FetchContent")
+  set(BENCHMARK_ENABLE_TESTING OFF CACHE BOOL "" FORCE)
+  set(BENCHMARK_ENABLE_INSTALL OFF CACHE BOOL "" FORCE)
+  FetchContent_Declare(
+    googlebenchmark
+    URL https://github.com/google/benchmark/archive/refs/tags/v1.8.3.tar.gz
+    URL_HASH SHA256=6bc180a57d23d4d9515519f92b0c83d61b05b5bab188961f36ac7b06b0d9e9ce)
+  FetchContent_MakeAvailable(googlebenchmark)
+endfunction()

@@ -1,0 +1,123 @@
+#include "tests/differential/generator.h"
+
+#include <sstream>
+#include <string>
+
+#include "lqdb/io/text_format.h"
+#include "lqdb/logic/classify.h"
+#include "lqdb/logic/query.h"
+#include "tests/testing.h"
+
+namespace lqdb {
+namespace testing {
+namespace {
+
+RandomDbParams DbParamsFor(InstanceProfile profile) {
+  RandomDbParams p;
+  switch (profile) {
+    case InstanceProfile::kTiny:
+      p.num_known = 2;
+      p.num_unknown = 1;
+      p.num_unary_preds = 1;
+      p.num_binary_preds = 0;
+      p.num_facts = 3;
+      break;
+    case InstanceProfile::kSmall:
+      p.num_known = 3;
+      p.num_unknown = 2;
+      p.num_unary_preds = 1;
+      p.num_binary_preds = 1;
+      p.num_facts = 6;
+      break;
+    case InstanceProfile::kBinary:
+      p.num_known = 3;
+      p.num_unknown = 2;
+      p.num_unary_preds = 0;
+      p.num_binary_preds = 2;
+      p.num_facts = 8;
+      break;
+    case InstanceProfile::kFullySpecified:
+      p.num_known = 4;
+      p.num_unknown = 0;
+      p.num_unary_preds = 1;
+      p.num_binary_preds = 1;
+      p.num_facts = 7;
+      break;
+    case InstanceProfile::kPositive:
+      p.num_known = 3;
+      p.num_unknown = 2;
+      p.num_unary_preds = 1;
+      p.num_binary_preds = 1;
+      p.num_facts = 6;
+      break;
+  }
+  return p;
+}
+
+RandomFormulaParams FormulaParamsFor(InstanceProfile profile) {
+  RandomFormulaParams p;
+  switch (profile) {
+    case InstanceProfile::kTiny:
+      p.max_depth = 2;
+      p.free_vars = {"hx"};
+      break;
+    case InstanceProfile::kSmall:
+    case InstanceProfile::kFullySpecified:
+      p.max_depth = 3;
+      p.free_vars = {"hx"};
+      break;
+    case InstanceProfile::kBinary:
+      p.max_depth = 3;
+      p.free_vars = {"hx", "hy"};
+      break;
+    case InstanceProfile::kPositive:
+      p.max_depth = 3;
+      p.free_vars = {"hx"};
+      p.allow_negation = false;
+      break;
+  }
+  return p;
+}
+
+}  // namespace
+
+const char* ProfileName(InstanceProfile profile) {
+  switch (profile) {
+    case InstanceProfile::kTiny:
+      return "tiny";
+    case InstanceProfile::kSmall:
+      return "small";
+    case InstanceProfile::kBinary:
+      return "binary";
+    case InstanceProfile::kFullySpecified:
+      return "fully_specified";
+    case InstanceProfile::kPositive:
+      return "positive";
+  }
+  return "unknown";
+}
+
+DifferentialInstance MakeInstance(uint64_t seed, InstanceProfile profile) {
+  std::unique_ptr<CwDatabase> db = RandomCwDatabase(seed, DbParamsFor(profile));
+  // Decorrelate the query stream from the database stream so instances with
+  // equal seeds but different profiles do not share query structure.
+  const uint64_t query_seed =
+      seed * 2654435761ull + 101ull * static_cast<uint64_t>(profile);
+  Query query =
+      RandomQuery(query_seed, db->mutable_vocab(), FormulaParamsFor(profile));
+  return DifferentialInstance(seed, profile, std::move(db), std::move(query));
+}
+
+std::string Describe(const DifferentialInstance& instance) {
+  std::ostringstream out;
+  out << "reproducing seed: " << instance.seed << " (profile "
+      << ProfileName(instance.profile) << ")\n"
+      << "database:\n"
+      << SerializeCwDatabase(*instance.db) << "query: "
+      << PrintQuery(instance.db->vocab(), instance.query)
+      << (IsPositive(instance.query) ? "  [positive]" : "") << "\n";
+  return out.str();
+}
+
+}  // namespace testing
+}  // namespace lqdb

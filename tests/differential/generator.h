@@ -1,0 +1,64 @@
+#ifndef LQDB_TESTS_DIFFERENTIAL_GENERATOR_H_
+#define LQDB_TESTS_DIFFERENTIAL_GENERATOR_H_
+
+#include <memory>
+#include <string>
+
+#include "lqdb/cwdb/cw_database.h"
+#include "lqdb/logic/query.h"
+
+namespace lqdb {
+namespace testing {
+
+/// Shape of a random differential-testing instance. Profiles trade instance
+/// size against the exponential cost of the brute-force oracle, and carve
+/// out the structured corners the paper's theorems single out (fully
+/// specified databases, positive queries).
+enum class InstanceProfile {
+  /// 3 constants, one unary predicate, shallow query — small enough for the
+  /// model-enumeration oracle.
+  kTiny,
+  /// 5 constants (2 unknown), unary+binary predicates, depth-3 query with
+  /// one head variable.
+  kSmall,
+  /// 5 constants (2 unknown), two binary predicates, depth-3 query with a
+  /// binary head — stresses joins and arity-2 answers.
+  kBinary,
+  /// No unknown constants: every engine must agree exactly (Theorem 12).
+  kFullySpecified,
+  /// Negation-free query over a database with unknowns: the approximation
+  /// must be complete, not merely sound (Theorem 13).
+  kPositive,
+};
+
+const char* ProfileName(InstanceProfile profile);
+
+/// One generated instance: a CW logical database plus a query over its
+/// vocabulary. Deterministic in (seed, profile).
+struct DifferentialInstance {
+  DifferentialInstance(uint64_t seed, InstanceProfile profile,
+                       std::unique_ptr<CwDatabase> db, Query query)
+      : seed(seed),
+        profile(profile),
+        db(std::move(db)),
+        query(std::move(query)) {}
+
+  uint64_t seed;
+  InstanceProfile profile;
+  std::unique_ptr<CwDatabase> db;
+  Query query;
+};
+
+/// Builds the instance for `(seed, profile)`. Always returns a usable
+/// instance; generation itself cannot fail.
+DifferentialInstance MakeInstance(uint64_t seed, InstanceProfile profile);
+
+/// A self-contained reproduction report: the seed and profile (enough to
+/// regenerate the instance), plus the serialized database and the printed
+/// query so a failure can be replayed in the shell without recompiling.
+std::string Describe(const DifferentialInstance& instance);
+
+}  // namespace testing
+}  // namespace lqdb
+
+#endif  // LQDB_TESTS_DIFFERENTIAL_GENERATOR_H_

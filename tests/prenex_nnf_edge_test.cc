@@ -1,0 +1,259 @@
+/// Edge cases for logic/prenex and logic/nnf: variable shadowing (a bound
+/// variable rebound in a nested scope) and vacuous quantification (a
+/// quantifier whose body never mentions the bound variable — the closest a
+/// quantifier gets to an "empty" body, alongside bodies that are the bare
+/// constants `true`/`false`).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lqdb/eval/evaluator.h"
+#include "lqdb/logic/builder.h"
+#include "lqdb/logic/classify.h"
+#include "lqdb/logic/nnf.h"
+#include "lqdb/logic/parser.h"
+#include "lqdb/logic/prenex.h"
+#include "lqdb/logic/printer.h"
+#include "tests/testing.h"
+
+namespace lqdb {
+namespace {
+
+/// A tiny fixed world {A, B} with P = {A} and R = {(A, B)} to decide the
+/// truth of the sentences below.
+struct World {
+  World() : db(&vocab) {
+    a = vocab.AddConstant("A");
+    b = vocab.AddConstant("B");
+    p = vocab.AddPredicate("P", 1).value();
+    r = vocab.AddPredicate("R", 2).value();
+    db.InterpretConstantsAsThemselves();
+    EXPECT_TRUE(db.AddTuple(p, {a}).ok());
+    EXPECT_TRUE(db.AddTuple(r, {a, b}).ok());
+  }
+
+  bool Holds(const FormulaPtr& f) {
+    Evaluator eval(&db);
+    auto result = eval.Satisfies(f);
+    EXPECT_TRUE(result.ok()) << result.status();
+    return result.ok() && result.value();
+  }
+
+  Vocabulary vocab;
+  PhysicalDatabase db;
+  ConstId a, b;
+  PredId p, r;
+};
+
+/// Prenexing a sentence must not change its truth value in the world.
+void ExpectPrenexPreserves(World* w, const std::string& text) {
+  SCOPED_TRACE(text);
+  auto f = ParseFormula(&w->vocab, text);
+  ASSERT_TRUE(f.ok()) << f.status();
+  auto prenexed = ToPrenex(&w->vocab, f.value());
+  ASSERT_TRUE(prenexed.ok()) << prenexed.status();
+  EXPECT_TRUE(ClassifyFoPrefix(prenexed.value()).prenex)
+      << PrintFormula(w->vocab, prenexed.value());
+  EXPECT_EQ(w->Holds(f.value()), w->Holds(prenexed.value()))
+      << "prenexed: " << PrintFormula(w->vocab, prenexed.value());
+}
+
+/// NNF must not change the truth value either, and must satisfy IsNnf.
+void ExpectNnfPreserves(World* w, const std::string& text) {
+  SCOPED_TRACE(text);
+  auto f = ParseFormula(&w->vocab, text);
+  ASSERT_TRUE(f.ok()) << f.status();
+  FormulaPtr nnf = ToNnf(f.value());
+  EXPECT_TRUE(IsNnf(nnf)) << PrintFormula(w->vocab, nnf);
+  EXPECT_EQ(w->Holds(f.value()), w->Holds(nnf))
+      << "nnf: " << PrintFormula(w->vocab, nnf);
+}
+
+TEST(PrenexEdgeTest, ShadowedVariableInNestedQuantifier) {
+  World w;
+  // The inner `exists x` shadows the outer one; the outer x is only
+  // constrained by P.
+  ExpectPrenexPreserves(&w, "exists x. P(x) & (exists x. R(x, B))");
+  ExpectPrenexPreserves(&w, "exists x. P(x) & (forall x. R(x, B))");
+}
+
+TEST(PrenexEdgeTest, DirectlyRenestedBinderIsInnerWins) {
+  World w;
+  // `forall x. exists x. P(x)` ≡ `exists x. P(x)` — the outer binder is
+  // vacuous because the inner one captures every occurrence.
+  ExpectPrenexPreserves(&w, "forall x. exists x. P(x)");
+  ExpectPrenexPreserves(&w, "exists x. forall x. P(x)");
+  ExpectPrenexPreserves(&w, "forall x. forall x. exists x. P(x)");
+
+  // And the truth values are the inner quantifier's: P is non-empty but not
+  // universal in the world.
+  auto f1 = ParseFormula(&w.vocab, "forall x. exists x. P(x)");
+  auto p1 = ToPrenex(&w.vocab, f1.value());
+  EXPECT_TRUE(w.Holds(p1.value()));
+  auto f2 = ParseFormula(&w.vocab, "exists x. forall x. P(x)");
+  auto p2 = ToPrenex(&w.vocab, f2.value());
+  EXPECT_FALSE(w.Holds(p2.value()));
+}
+
+TEST(PrenexEdgeTest, ShadowingAcrossNegationAndImplication) {
+  World w;
+  ExpectPrenexPreserves(&w, "!(exists x. P(x) & !(forall x. R(x, x)))");
+  ExpectPrenexPreserves(&w,
+                        "(exists x. P(x)) -> (exists x. R(x, B))");
+  ExpectPrenexPreserves(&w,
+                        "(forall x. P(x)) <-> (forall x. R(x, B))");
+}
+
+TEST(PrenexEdgeTest, VacuousQuantifierOverClosedBody) {
+  World w;
+  // The bound variable never occurs in the body.
+  ExpectPrenexPreserves(&w, "exists x. true");
+  ExpectPrenexPreserves(&w, "forall x. true");
+  ExpectPrenexPreserves(&w, "exists x. false");
+  ExpectPrenexPreserves(&w, "forall x. false");
+  ExpectPrenexPreserves(&w, "exists x. P(A)");
+  ExpectPrenexPreserves(&w, "forall x. R(A, B)");
+  // Vacuous binder over a body quantifying the same name.
+  ExpectPrenexPreserves(&w, "exists x. (exists x. P(x))");
+}
+
+TEST(PrenexEdgeTest, VacuousQuantifierKeepsFreeVariablesFree) {
+  Vocabulary v;
+  // y is free in the body of a quantifier that binds (only) x.
+  auto f = ParseFormula(&v, "exists x. P(y)");
+  ASSERT_TRUE(f.ok()) << f.status();
+  auto prenexed = ToPrenex(&v, f.value());
+  ASSERT_TRUE(prenexed.ok()) << prenexed.status();
+  std::set<VarId> free = FreeVariables(prenexed.value());
+  ASSERT_EQ(free.size(), 1u);
+  EXPECT_TRUE(free.count(v.FindVariable("y")));
+}
+
+TEST(NnfEdgeTest, ShadowedVariablesSurviveNnf) {
+  World w;
+  ExpectNnfPreserves(&w, "!(exists x. P(x) & (exists x. !R(x, B)))");
+  ExpectNnfPreserves(&w, "!(forall x. exists x. P(x))");
+  ExpectNnfPreserves(&w, "(exists x. P(x)) <-> (forall x. exists x. P(x))");
+}
+
+TEST(NnfEdgeTest, VacuousQuantifiersSurviveNnf) {
+  World w;
+  ExpectNnfPreserves(&w, "!(exists x. true)");
+  ExpectNnfPreserves(&w, "!(forall x. false)");
+  ExpectNnfPreserves(&w, "!(exists x. P(A))");
+  ExpectNnfPreserves(&w, "(forall x. true) -> (exists x. false)");
+}
+
+TEST(NnfEdgeTest, NnfIsIdempotentOnEdgeCases) {
+  Vocabulary v;
+  const char* cases[] = {
+      "!(exists x. P(x) & (exists x. !R(x, B)))",
+      "!(forall x. exists x. P(x))",
+      "!(exists x. true)",
+      "(forall x. true) <-> (exists x. false)",
+  };
+  for (const char* text : cases) {
+    SCOPED_TRACE(text);
+    auto f = ParseFormula(&v, text);
+    ASSERT_TRUE(f.ok()) << f.status();
+    FormulaPtr once = ToNnf(f.value());
+    ASSERT_TRUE(IsNnf(once));
+    FormulaPtr twice = ToNnf(once);
+    EXPECT_EQ(PrintFormula(v, twice), PrintFormula(v, once));
+  }
+}
+
+/// Random sentence whose binders are all named "x" or "y", so nested
+/// quantifiers routinely rebind a name already in scope. `*shadowed` is set
+/// when a binder was generated while its name was bound — the property
+/// `RandomFormula` in tests/testing.h can never produce (its binder names
+/// embed the strictly increasing depth).
+FormulaPtr ShadowHeavyFormula(Rng* rng, World* w, int depth,
+                              std::vector<std::string>* scope,
+                              bool* shadowed) {
+  FormulaBuilder b(&w->vocab);
+  auto term = [&]() -> Term {
+    if (!scope->empty() && rng->Chance(0.7)) {
+      return b.V((*scope)[rng->Below(scope->size())]);
+    }
+    return Term::Constant(rng->Chance(0.5) ? w->a : w->b);
+  };
+  auto atom = [&]() -> FormulaPtr {
+    switch (rng->Below(3)) {
+      case 0: {
+        TermList args;
+        args.push_back(term());
+        return Formula::Atom(w->p, std::move(args));
+      }
+      case 1: {
+        TermList args;
+        args.push_back(term());
+        args.push_back(term());
+        return Formula::Atom(w->r, std::move(args));
+      }
+      default:
+        return b.Eq(term(), term());
+    }
+  };
+  if (depth <= 0) return atom();
+  auto recurse = [&]() {
+    return ShadowHeavyFormula(rng, w, depth - 1, scope, shadowed);
+  };
+  switch (rng->Below(6)) {
+    case 0:
+      return atom();
+    case 1:
+      return Formula::And(recurse(), recurse());
+    case 2:
+      return Formula::Or(recurse(), recurse());
+    case 3:
+      return Formula::Not(recurse());
+    default: {
+      std::string v = rng->Chance(0.5) ? "x" : "y";
+      if (std::find(scope->begin(), scope->end(), v) != scope->end()) {
+        *shadowed = true;
+      }
+      scope->push_back(v);
+      FormulaPtr body = recurse();
+      scope->pop_back();
+      return rng->Chance(0.5) ? b.Exists(v, std::move(body))
+                              : b.Forall(v, std::move(body));
+    }
+  }
+}
+
+/// Randomized sweep: prenex + NNF preserve truth on sentences that rebind
+/// the same two variable names over and over (heavy shadowing).
+TEST(PrenexNnfEdgeTest, RandomShadowHeavyFormulasPreserveTruth) {
+  int shadowed_count = 0;
+  for (uint64_t seed = 0; seed < 40; ++seed) {
+    World w;
+    Rng rng(seed);
+    std::vector<std::string> scope;
+    bool shadowed = false;
+    FormulaPtr f = ShadowHeavyFormula(&rng, &w, 5, &scope, &shadowed);
+    if (shadowed) ++shadowed_count;
+
+    FormulaPtr nnf = ToNnf(f);
+    ASSERT_TRUE(IsNnf(nnf));
+    auto prenexed = ToPrenex(&w.vocab, f);
+    ASSERT_TRUE(prenexed.ok()) << prenexed.status();
+
+    const bool direct = w.Holds(f);
+    EXPECT_EQ(direct, w.Holds(nnf))
+        << "seed " << seed << "\n  original: " << PrintFormula(w.vocab, f)
+        << "\n  nnf: " << PrintFormula(w.vocab, nnf);
+    EXPECT_EQ(direct, w.Holds(prenexed.value()))
+        << "seed " << seed << "\n  original: " << PrintFormula(w.vocab, f)
+        << "\n  prenexed: " << PrintFormula(w.vocab, prenexed.value());
+  }
+  // The sweep is only meaningful if shadowing actually occurred.
+  EXPECT_GT(shadowed_count, 10);
+}
+
+}  // namespace
+}  // namespace lqdb

@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <string>
+
+#include "tests/testing.h"
 
 namespace lqdb {
 namespace {
@@ -105,6 +108,57 @@ exact true
   // Still alive for the final valid query: true holds in every model.
   EXPECT_NE(out.find("{()}"), std::string::npos) << out;
 }
+
+#ifdef LQDB_TEST_DATA_DIR
+/// Smoke: the checked-in session script touches every shell command; the
+/// whole run must complete without an error or unknown-command line.
+TEST(ShellTest, ScriptedSessionCoversEveryCommand) {
+  const std::string script = testing::ReadFileToString(
+      std::string(LQDB_TEST_DATA_DIR) + "/shell_smoke_session.txt");
+  ASSERT_FALSE(script.empty());
+  std::string out = RunShellScript(script);
+  // The session's `save` writes into the test's working directory.
+  std::remove("shell_smoke_roundtrip.tmp.lqdb");
+  EXPECT_EQ(out.find("error:"), std::string::npos) << out;
+  EXPECT_EQ(out.find("unknown command"), std::string::npos) << out;
+  // The exact and approx engines both clear exactly Victoria.
+  size_t first = out.find("{(Victoria)}");
+  EXPECT_NE(first, std::string::npos) << out;
+  EXPECT_NE(out.find("{(Victoria)}", first + 1), std::string::npos) << out;
+}
+#endif  // LQDB_TEST_DATA_DIR
+
+#ifdef LQDB_EXAMPLES_DATA_DIR
+/// Smoke: every example world under examples/data/ loads in the shell and
+/// answers its embedded `# query:` lines under all three engines without a
+/// single error line — so the shipped scenarios can never silently rot.
+TEST(ShellTest, LoadsAndQueriesEveryExampleWorld) {
+  size_t worlds = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(LQDB_EXAMPLES_DATA_DIR)) {
+    if (entry.path().extension() != ".lqdb") continue;
+    ++worlds;
+    SCOPED_TRACE(entry.path().string());
+
+    const std::string text =
+        testing::ReadFileToString(entry.path().string());
+
+    std::string script = "load " + entry.path().string() + "\nshow\ntheory\n";
+    const auto queries = testing::EmbeddedQueries(text);
+    EXPECT_FALSE(queries.empty()) << "data file carries no `# query:` lines";
+    for (const std::string& query : queries) {
+      script += "exact " + query + "\napprox " + query + "\npossible " +
+                query + "\n";
+    }
+
+    std::string out = RunShellScript(script);
+    EXPECT_NE(out.find("loaded "), std::string::npos) << out;
+    EXPECT_EQ(out.find("error:"), std::string::npos) << out;
+    EXPECT_EQ(out.find("unknown command"), std::string::npos) << out;
+  }
+  EXPECT_GE(worlds, 7u) << "expected one data file per example binary";
+}
+#endif  // LQDB_EXAMPLES_DATA_DIR
 
 }  // namespace
 }  // namespace lqdb

@@ -1,7 +1,9 @@
 #ifndef LQDB_TESTS_TESTING_H_
 #define LQDB_TESTS_TESTING_H_
 
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -167,6 +169,31 @@ inline FormulaPtr RandomFormula(Rng* rng, Vocabulary* vocab,
     default:
       return Formula::Not(RandomFormula(rng, vocab, p, depth + 1, scope));
   }
+}
+
+/// Slurps a file into a string (for the examples/data and tests/data
+/// fixtures).
+inline std::string ReadFileToString(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Extracts the `# query: ...` comment lines of a `.lqdb` data file — the
+/// convention shared by tests/io_roundtrip_test.cc and tests/shell_test.cc
+/// for embedding a world's interesting queries next to its facts.
+inline std::vector<std::string> EmbeddedQueries(const std::string& text) {
+  std::vector<std::string> queries;
+  std::istringstream in(text);
+  std::string line;
+  const std::string prefix = "# query:";
+  while (std::getline(in, line)) {
+    if (line.rfind(prefix, 0) != 0) continue;
+    size_t start = line.find_first_not_of(' ', prefix.size());
+    if (start != std::string::npos) queries.push_back(line.substr(start));
+  }
+  return queries;
 }
 
 /// Builds a random query whose head is `p.free_vars`.
