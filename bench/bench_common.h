@@ -5,6 +5,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -104,16 +105,46 @@ inline Query MustParse(CwDatabase* lb, const std::string& text) {
 /// Initializes and runs google-benchmark with a short default
 /// `--benchmark_min_time` (the E-series binaries are run back to back by
 /// the harness); any flag passed on the command line wins.
+///
+/// Machine-readable output: when the environment variable
+/// `LQDB_BENCH_JSON_DIR` is set (and the caller did not pass an explicit
+/// `--benchmark_out`), each binary also writes
+/// `$LQDB_BENCH_JSON_DIR/<binary>.json` in google-benchmark's JSON format
+/// while keeping the console reporter on stdout. `tools/collect_bench.py`
+/// merges those files into a single `BENCH_<pr>.json` so the perf
+/// trajectory is tracked across PRs.
 inline void RunBenchmarks(int argc, char** argv) {
   std::vector<char*> args(argv, argv + argc);
   bool has_min_time = false;
+  bool has_out = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--benchmark_min_time", 20) == 0) {
       has_min_time = true;
     }
+    // Match only the out-file flag itself; `--benchmark_out_format=...`
+    // alone must not suppress the env-driven JSON file.
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0 ||
+        std::strcmp(argv[i], "--benchmark_out") == 0) {
+      has_out = true;
+    }
   }
   static char default_min_time[] = "--benchmark_min_time=0.05";
   if (!has_min_time) args.push_back(default_min_time);
+
+  // The strings backing argv must outlive Initialize.
+  static std::string out_flag, out_format_flag;
+  const char* json_dir = std::getenv("LQDB_BENCH_JSON_DIR");
+  if (json_dir != nullptr && *json_dir != '\0' && !has_out) {
+    std::string binary = argv[0];
+    size_t slash = binary.find_last_of('/');
+    if (slash != std::string::npos) binary = binary.substr(slash + 1);
+    out_flag = "--benchmark_out=" + std::string(json_dir) + "/" + binary +
+               ".json";
+    out_format_flag = "--benchmark_out_format=json";
+    args.push_back(out_flag.data());
+    args.push_back(out_format_flag.data());
+  }
+
   int new_argc = static_cast<int>(args.size());
   benchmark::Initialize(&new_argc, args.data());
   benchmark::RunSpecifiedBenchmarks();

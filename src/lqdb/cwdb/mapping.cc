@@ -19,12 +19,14 @@ bool RespectsUniqueness(const CwDatabase& lb, const ConstMapping& h) {
   return true;
 }
 
-PhysicalDatabase ApplyMapping(const CwDatabase& lb, const ConstMapping& h) {
+void ApplyMappingInto(const CwDatabase& lb, const ConstMapping& h,
+                      PhysicalDatabase* scratch) {
   assert(h.size() == lb.num_constants());
-  PhysicalDatabase db(&lb.vocab());
-  for (ConstId c = 0; c < h.size(); ++c) db.AddDomainValue(h[c]);
+  assert(&scratch->vocab() == &lb.vocab());
+  scratch->Clear();
+  for (ConstId c = 0; c < h.size(); ++c) scratch->AddDomainValue(h[c]);
   for (ConstId c = 0; c < h.size(); ++c) {
-    Status s = db.SetConstant(c, h[c]);
+    Status s = scratch->SetConstant(c, h[c]);
     assert(s.ok());
     (void)s;
   }
@@ -32,27 +34,56 @@ PhysicalDatabase ApplyMapping(const CwDatabase& lb, const ConstMapping& h) {
     for (const Tuple& t : lb.facts(p).tuples()) {
       Tuple image(t.size());
       for (size_t i = 0; i < t.size(); ++i) image[i] = h[t[i]];
-      Status s = db.AddTuple(p, std::move(image));
+      Status s = scratch->AddTuple(p, std::move(image));
       assert(s.ok());
       (void)s;
     }
   }
+}
+
+PhysicalDatabase ApplyMapping(const CwDatabase& lb, const ConstMapping& h) {
+  PhysicalDatabase db(&lb.vocab());
+  ApplyMappingInto(lb, h, &db);
   return db;
 }
 
 namespace {
 
 /// Backtracking enumeration of NE-avoiding partitions via restricted-growth
-/// assignment: constant i joins an existing block (when no member conflicts)
-/// or opens a new one.
+/// strings: constant i joins an existing block (when no member conflicts)
+/// or opens a new one. A walk may be rooted at an RGS prefix, in which case
+/// it visits exactly the partitions extending that prefix — the unit of
+/// work behind `SplitCanonicalMappingSpace`.
 class PartitionWalker {
  public:
   PartitionWalker(const CwDatabase& lb, const MappingVisitor* visit)
       : lb_(lb), visit_(visit), n_(lb.num_constants()), h_(n_, 0) {}
 
+  /// Walks the whole space.
   uint64_t Run() {
     if (n_ == 0) return 0;
     Recurse(0);
+    return count_;
+  }
+
+  /// Walks the completions of `prefix`. The prefix must be a valid
+  /// NE-avoiding restricted-growth string over the first
+  /// `prefix.size()` constants (as produced by
+  /// `SplitCanonicalMappingSpace`).
+  uint64_t RunFrom(const std::vector<ConstId>& prefix) {
+    if (n_ == 0) return 0;
+    assert(prefix.size() <= n_);
+    for (ConstId i = 0; i < prefix.size(); ++i) {
+      const ConstId block = prefix[i];
+      assert(block <= blocks_.size());
+      if (block == blocks_.size()) {
+        blocks_.push_back({i});
+      } else {
+        blocks_[block].push_back(i);
+      }
+      h_[i] = blocks_[block][0];
+    }
+    Recurse(static_cast<ConstId>(prefix.size()));
     return count_;
   }
 
@@ -100,6 +131,54 @@ class PartitionWalker {
 };
 
 }  // namespace
+
+std::vector<MappingRange> SplitCanonicalMappingSpace(const CwDatabase& lb,
+                                                     size_t min_ranges) {
+  const ConstId n = static_cast<ConstId>(lb.num_constants());
+  if (n == 0) return {};
+  std::vector<MappingRange> ranges = {MappingRange{}};
+  // Deepen the shared prefix one constant at a time: each round replaces
+  // every prefix of depth d with its valid depth-(d+1) children — the same
+  // join-or-open-block step the walker takes, so the children partition
+  // the parent exactly.
+  for (ConstId depth = 0; depth < n && ranges.size() < min_ranges; ++depth) {
+    std::vector<MappingRange> next;
+    next.reserve(ranges.size() * 2);
+    for (const MappingRange& range : ranges) {
+      // Reconstruct the block membership of this prefix.
+      std::vector<std::vector<ConstId>> blocks;
+      for (ConstId i = 0; i < range.rgs.size(); ++i) {
+        if (range.rgs[i] == blocks.size()) blocks.push_back({});
+        blocks[range.rgs[i]].push_back(i);
+      }
+      const ConstId c = depth;  // the constant being assigned this round
+      for (ConstId bi = 0; bi <= blocks.size(); ++bi) {
+        bool conflict = false;
+        if (bi < blocks.size()) {
+          for (ConstId member : blocks[bi]) {
+            if (lb.AreDistinct(member, c)) {
+              conflict = true;
+              break;
+            }
+          }
+        }
+        if (conflict) continue;
+        MappingRange child = range;
+        child.rgs.push_back(bi);
+        next.push_back(std::move(child));
+      }
+    }
+    ranges = std::move(next);
+  }
+  return ranges;
+}
+
+uint64_t ForEachCanonicalMappingInRange(const CwDatabase& lb,
+                                        const MappingRange& range,
+                                        const MappingVisitor& visit) {
+  PartitionWalker walker(lb, &visit);
+  return walker.RunFrom(range.rgs);
+}
 
 uint64_t ForEachCanonicalMapping(const CwDatabase& lb,
                                  const MappingVisitor& visit) {

@@ -24,8 +24,43 @@ bool RespectsUniqueness(const CwDatabase& lb, const ConstMapping& h);
 /// `I(c) = h(c)`, and each relation the `h`-image of the facts.
 PhysicalDatabase ApplyMapping(const CwDatabase& lb, const ConstMapping& h);
 
+/// `ApplyMapping` into a caller-owned scratch database, reusing its
+/// hash-table and relation capacity across calls — the enumeration hot
+/// loops build one image per mapping, and rebuilding the containers from
+/// scratch dominates the per-mapping cost. `scratch` must have been
+/// constructed against `lb.vocab()` (the same vocabulary object).
+void ApplyMappingInto(const CwDatabase& lb, const ConstMapping& h,
+                      PhysicalDatabase* scratch);
+
 /// Visitor over mappings; return false to stop the enumeration.
 using MappingVisitor = std::function<bool(const ConstMapping&)>;
+
+/// A contiguous slice of the canonical-mapping space, identified by a
+/// *restricted-growth-string prefix*: `rgs[i]` is the block index of
+/// constant `i` for `i < rgs.size()`, with the usual RGS constraint
+/// `rgs[i] ≤ 1 + max(rgs[0..i-1])` (and `rgs[0] = 0`). The range covers
+/// every NE-avoiding partition extending that prefix. Ranges produced by
+/// `SplitCanonicalMappingSpace` are pairwise disjoint and jointly cover the
+/// whole space, so they can be walked by independent workers.
+struct MappingRange {
+  std::vector<ConstId> rgs;
+};
+
+/// Partitions the canonical-mapping space of `lb` into at least
+/// `min_ranges` independent ranges when possible (the space may have fewer
+/// partitions than that, in which case every range holds one partition).
+/// Deepens the shared RGS prefix one constant at a time until the prefix
+/// count reaches `min_ranges`, so ranges stay coarse enough to amortize
+/// per-range dispatch. With `min_ranges ≤ 1` returns the single full range.
+std::vector<MappingRange> SplitCanonicalMappingSpace(const CwDatabase& lb,
+                                                     size_t min_ranges);
+
+/// Enumerates the canonical representatives of one range (see
+/// `ForEachCanonicalMapping` for what "canonical" means). Returns the
+/// number of mappings visited in the range.
+uint64_t ForEachCanonicalMappingInRange(const CwDatabase& lb,
+                                        const MappingRange& range,
+                                        const MappingVisitor& visit);
 
 /// Enumerates one canonical representative per *kernel partition* of the
 /// mappings `h : C → C` that respect the uniqueness axioms. Two mappings
@@ -36,7 +71,8 @@ using MappingVisitor = std::function<bool(const ConstMapping&)>;
 /// to the least constant of its block.
 ///
 /// Returns the number of mappings visited (complete count when no visitor
-/// stopped the walk).
+/// stopped the walk). Equivalent to walking the single range
+/// `SplitCanonicalMappingSpace(lb, 1)`.
 uint64_t ForEachCanonicalMapping(const CwDatabase& lb,
                                  const MappingVisitor& visit);
 

@@ -1,0 +1,219 @@
+// The builtin engine adapters: thin QueryEngine shims over the concrete
+// evaluators, so every evaluation strategy in the library is reachable
+// through one string-keyed API (shell, benches, differential harness).
+#include <utility>
+
+#include "lqdb/cwdb/ph.h"
+#include "lqdb/engine/engine.h"
+#include "lqdb/eval/evaluator.h"
+
+namespace lqdb {
+namespace {
+
+/// Common name/capability plumbing for the adapters below.
+class EngineBase : public QueryEngine {
+ public:
+  EngineBase(std::string name, EngineCapabilities capabilities)
+      : name_(std::move(name)), capabilities_(capabilities) {}
+
+  const std::string& name() const override { return name_; }
+  const EngineCapabilities& capabilities() const override {
+    return capabilities_;
+  }
+
+ private:
+  std::string name_;
+  EngineCapabilities capabilities_;
+};
+
+class BruteEngine : public EngineBase {
+ public:
+  BruteEngine(std::string name, EngineCapabilities caps, const CwDatabase* lb,
+              const BruteOptions& options)
+      : EngineBase(std::move(name), caps), impl_(lb, options) {}
+
+  Result<Relation> Answer(const Query& query) override {
+    return impl_.Answer(query);
+  }
+  Result<bool> Contains(const Query& query, const Tuple& candidate) override {
+    return impl_.Contains(query, candidate);
+  }
+  uint64_t last_mappings_examined() const override {
+    return impl_.last_mappings_examined();
+  }
+
+ private:
+  BruteForceEvaluator impl_;
+};
+
+class ExactEngine : public EngineBase {
+ public:
+  ExactEngine(std::string name, EngineCapabilities caps, const CwDatabase* lb,
+              const ExactOptions& options)
+      : EngineBase(std::move(name), caps), impl_(lb, options) {}
+
+  Result<Relation> Answer(const Query& query) override {
+    return impl_.Answer(query);
+  }
+  Result<bool> Contains(const Query& query, const Tuple& candidate) override {
+    return impl_.Contains(query, candidate);
+  }
+  Result<Relation> PossibleAnswer(const Query& query) override {
+    return impl_.PossibleAnswer(query);
+  }
+  uint64_t last_mappings_examined() const override {
+    return impl_.last_mappings_examined();
+  }
+
+ private:
+  ExactEvaluator impl_;
+};
+
+class ParallelExactEngine : public EngineBase {
+ public:
+  ParallelExactEngine(std::string name, EngineCapabilities caps,
+                      const CwDatabase* lb,
+                      const ParallelExactOptions& options)
+      : EngineBase(std::move(name), caps), impl_(lb, options) {}
+
+  Result<Relation> Answer(const Query& query) override {
+    return impl_.Answer(query);
+  }
+  Result<bool> Contains(const Query& query, const Tuple& candidate) override {
+    return impl_.Contains(query, candidate);
+  }
+  Result<Relation> PossibleAnswer(const Query& query) override {
+    return impl_.PossibleAnswer(query);
+  }
+  uint64_t last_mappings_examined() const override {
+    return impl_.last_mappings_examined();
+  }
+
+ private:
+  ParallelExactEvaluator impl_;
+};
+
+class ApproxQueryEngine : public EngineBase {
+ public:
+  ApproxQueryEngine(std::string name, EngineCapabilities caps,
+                    std::unique_ptr<ApproxEvaluator> impl)
+      : EngineBase(std::move(name), caps), impl_(std::move(impl)) {}
+
+  Result<Relation> Answer(const Query& query) override {
+    return impl_->Answer(query);
+  }
+  Result<bool> Contains(const Query& query, const Tuple& candidate) override {
+    return impl_->Contains(query, candidate);
+  }
+
+ private:
+  std::unique_ptr<ApproxEvaluator> impl_;
+};
+
+/// Naive evaluation over `Ph₁(LB)`: treats every null as a distinct fresh
+/// value, so it is neither sound nor complete in the presence of unknowns —
+/// registered as the baseline the paper's §1 example warns about. `Ph₁` is
+/// rebuilt per call so constants interned after engine creation (e.g. while
+/// parsing the query) are interpreted.
+class PhysicalEngine : public EngineBase {
+ public:
+  PhysicalEngine(std::string name, EngineCapabilities caps,
+                 const CwDatabase* lb, const EvalOptions& options)
+      : EngineBase(std::move(name), caps), lb_(lb), options_(options) {}
+
+  Result<Relation> Answer(const Query& query) override {
+    PhysicalDatabase ph1 = MakePh1(*lb_);
+    Evaluator eval(&ph1, options_);
+    return eval.Answer(query);
+  }
+
+  Result<bool> Contains(const Query& query, const Tuple& candidate) override {
+    if (candidate.size() != query.arity()) {
+      return Status::InvalidArgument("candidate arity does not match query");
+    }
+    PhysicalDatabase ph1 = MakePh1(*lb_);
+    Evaluator eval(&ph1, options_);
+    std::map<VarId, Value> binding;
+    for (size_t i = 0; i < candidate.size(); ++i) {
+      binding[query.head()[i]] = candidate[i];
+    }
+    return eval.SatisfiesWith(query.body(), binding);
+  }
+
+ private:
+  const CwDatabase* lb_;
+  EvalOptions options_;
+};
+
+}  // namespace
+
+void RegisterBuiltinEngines(EngineRegistry* registry) {
+  auto must_register = [registry](std::string name, EngineCapabilities caps,
+                                  EngineFactory factory) {
+    Status s = registry->Register(std::move(name), caps, std::move(factory));
+    (void)s;  // only fails on duplicate registration, which is idempotent
+  };
+
+  {
+    EngineCapabilities caps;
+    caps.sound = true;
+    caps.complete = true;
+    must_register(
+        "brute", caps,
+        [caps](CwDatabase* lb, const EngineOptions& options)
+            -> Result<std::unique_ptr<QueryEngine>> {
+          return std::unique_ptr<QueryEngine>(
+              new BruteEngine("brute", caps, lb, options.brute));
+        });
+  }
+  {
+    EngineCapabilities caps;
+    caps.sound = true;
+    caps.complete = true;
+    caps.supports_possible = true;
+    must_register(
+        "exact", caps,
+        [caps](CwDatabase* lb, const EngineOptions& options)
+            -> Result<std::unique_ptr<QueryEngine>> {
+          return std::unique_ptr<QueryEngine>(
+              new ExactEngine("exact", caps, lb, options.exact));
+        });
+    must_register(
+        "parallel-exact", caps,
+        [caps](CwDatabase* lb, const EngineOptions& options)
+            -> Result<std::unique_ptr<QueryEngine>> {
+          ParallelExactOptions parallel;
+          parallel.base = options.exact;
+          parallel.threads = options.threads;
+          return std::unique_ptr<QueryEngine>(new ParallelExactEngine(
+              "parallel-exact", caps, lb, parallel));
+        });
+  }
+  {
+    EngineCapabilities caps;
+    caps.sound = true;
+    caps.polynomial = true;
+    must_register(
+        "approx", caps,
+        [caps](CwDatabase* lb, const EngineOptions& options)
+            -> Result<std::unique_ptr<QueryEngine>> {
+          auto impl = ApproxEvaluator::Make(lb, options.approx);
+          if (!impl.ok()) return impl.status();
+          return std::unique_ptr<QueryEngine>(
+              new ApproxQueryEngine("approx", caps, std::move(impl).value()));
+        });
+  }
+  {
+    EngineCapabilities caps;
+    caps.polynomial = true;
+    must_register(
+        "physical", caps,
+        [caps](CwDatabase* lb, const EngineOptions& options)
+            -> Result<std::unique_ptr<QueryEngine>> {
+          return std::unique_ptr<QueryEngine>(new PhysicalEngine(
+              "physical", caps, lb, options.exact.eval));
+        });
+  }
+}
+
+}  // namespace lqdb

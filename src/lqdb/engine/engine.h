@@ -1,0 +1,139 @@
+#ifndef LQDB_ENGINE_ENGINE_H_
+#define LQDB_ENGINE_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lqdb/approx/approx.h"
+#include "lqdb/cwdb/cw_database.h"
+#include "lqdb/exact/brute.h"
+#include "lqdb/exact/exact.h"
+#include "lqdb/exact/parallel.h"
+#include "lqdb/logic/query.h"
+#include "lqdb/relational/relation.h"
+#include "lqdb/util/result.h"
+
+namespace lqdb {
+
+/// What a query engine promises about its answers, relative to the certain
+/// answer `Q(LB)` of §2.1. The differential harness derives its agreement
+/// obligations from these flags: two `sound && complete` engines must agree
+/// exactly; a sound engine's answer must be ⊆ every exact engine's.
+struct EngineCapabilities {
+  /// Every returned tuple is in the certain answer (no false positives).
+  bool sound = false;
+  /// Every certain-answer tuple is returned (no false negatives).
+  bool complete = false;
+  /// Polynomial data complexity (the §5 approximation; Theorem 14) as
+  /// opposed to the co-NP Theorem 1 enumeration.
+  bool polynomial = false;
+  /// `PossibleAnswer` is implemented.
+  bool supports_possible = false;
+
+  /// Sound and complete: computes exactly `Q(LB)`.
+  bool exact() const { return sound && complete; }
+};
+
+/// Per-engine construction knobs, a superset of every builtin engine's
+/// options — each factory picks out what it understands. Keeping one bag
+/// (instead of per-engine variants) is what lets the shell, the benches and
+/// the differential harness configure any engine by name.
+struct EngineOptions {
+  ExactOptions exact;
+  BruteOptions brute;
+  ApproxOptions approx;
+  /// Worker threads for parallel engines; 0 means hardware concurrency.
+  int threads = 0;
+};
+
+/// A query evaluation strategy over one CW logical database. Engines are
+/// created per database via `EngineRegistry::Create` and borrow the
+/// database, which must outlive them.
+class QueryEngine {
+ public:
+  virtual ~QueryEngine() = default;
+
+  /// The registry key this engine was created under.
+  virtual const std::string& name() const = 0;
+
+  virtual const EngineCapabilities& capabilities() const = 0;
+
+  /// The engine's answer to `query` — a relation over the constants `C`.
+  virtual Result<Relation> Answer(const Query& query) = 0;
+
+  /// Membership of one candidate tuple in the engine's answer.
+  virtual Result<bool> Contains(const Query& query,
+                                const Tuple& candidate) = 0;
+
+  /// Tuples holding in at least one model of the theory. `Unimplemented`
+  /// unless `capabilities().supports_possible`.
+  virtual Result<Relation> PossibleAnswer(const Query& query);
+
+  /// Mappings examined by the most recent call for Theorem 1 engines; 0
+  /// for engines that do not enumerate mappings.
+  virtual uint64_t last_mappings_examined() const { return 0; }
+};
+
+/// Builds an engine over `lb`. Factories may mutate the database's
+/// vocabulary (the §5 approximation extends it with `NE` and α predicates)
+/// and may fail (e.g. on queries the configuration cannot support).
+using EngineFactory = std::function<Result<std::unique_ptr<QueryEngine>>(
+    CwDatabase* lb, const EngineOptions& options)>;
+
+/// A string-keyed registry of engine factories. The builtin engines
+/// ("brute", "exact", "parallel-exact", "approx", "physical") are
+/// registered on first access of `Global()`; libraries and tests may
+/// register more — a registered engine is automatically reachable from the
+/// shell (`set engine NAME`), the benches and the differential harness.
+class EngineRegistry {
+ public:
+  /// The process-wide registry, with builtins pre-registered. Thread-safe
+  /// to read after initialization; registration is not synchronized and
+  /// should happen at startup.
+  static EngineRegistry& Global();
+
+  /// Registers a factory under `name`; fails with `AlreadyExists` when the
+  /// key is taken.
+  Status Register(std::string name, EngineCapabilities capabilities,
+                  EngineFactory factory);
+
+  bool Has(std::string_view name) const;
+
+  /// Registered names in sorted order.
+  std::vector<std::string> Names() const;
+
+  /// Capability flags of a registered engine (without building one).
+  Result<EngineCapabilities> CapabilitiesOf(std::string_view name) const;
+
+  /// Instantiates the named engine over `lb`; `NotFound` for unknown names.
+  Result<std::unique_ptr<QueryEngine>> Create(
+      std::string_view name, CwDatabase* lb,
+      const EngineOptions& options = {}) const;
+
+ private:
+  struct Entry {
+    EngineCapabilities capabilities;
+    EngineFactory factory;
+  };
+  std::map<std::string, Entry, std::less<>> entries_;
+};
+
+/// Registers the builtin engines into `registry` (idempotent per registry;
+/// called by `EngineRegistry::Global()`):
+///
+///   - "brute"          — all mappings `h : C → C` (Theorem 1 literally)
+///   - "exact"          — canonical kernel-partition enumeration
+///   - "parallel-exact" — canonical enumeration fanned across threads
+///   - "approx"         — the §5 sound polynomial approximation
+///   - "physical"       — naive evaluation over `Ph₁` (ignores nulls;
+///                        neither sound nor complete — a baseline)
+void RegisterBuiltinEngines(EngineRegistry* registry);
+
+}  // namespace lqdb
+
+#endif  // LQDB_ENGINE_ENGINE_H_

@@ -1,5 +1,7 @@
 #include "lqdb/exact/brute.h"
 
+#include "lqdb/exact/exact.h"
+
 #include <cmath>
 #include <map>
 
@@ -22,9 +24,10 @@ Result<bool> BruteForceEvaluator::Contains(const Query& query,
 
   bool contained = true;
   Status error = Status::OK();
+  PhysicalDatabase image(&lb_->vocab());
+  Evaluator eval(&image, options_.eval);
   last_mappings_ = ForEachMapping(*lb_, [&](const ConstMapping& h) {
-    PhysicalDatabase image = ApplyMapping(*lb_, h);
-    Evaluator eval(&image, options_.eval);
+    ApplyMappingInto(*lb_, h, &image);
     std::map<VarId, Value> binding;
     for (size_t i = 0; i < candidate.size(); ++i) {
       binding[query.head()[i]] = h[candidate[i]];
@@ -57,24 +60,13 @@ Result<Relation> BruteForceEvaluator::Answer(const Query& query) {
 
   // Single pass over the mappings, pruning the candidate set — mirrors
   // ExactEvaluator::Answer so the two are directly comparable (bench E7).
-  std::vector<Tuple> alive;
-  {
-    Tuple t(arity, 0);
-    while (true) {
-      alive.push_back(t);
-      size_t pos = 0;
-      while (pos < arity && ++t[pos] == n) {
-        t[pos] = 0;
-        ++pos;
-      }
-      if (pos == arity) break;
-    }
-  }
+  std::vector<Tuple> alive = AllCandidateTuples(arity, n);
 
   Status error = Status::OK();
+  PhysicalDatabase image(&lb_->vocab());
+  Evaluator eval(&image, options_.eval);
   last_mappings_ = ForEachMapping(*lb_, [&](const ConstMapping& h) {
-    PhysicalDatabase image = ApplyMapping(*lb_, h);
-    Evaluator eval(&image, options_.eval);
+    ApplyMappingInto(*lb_, h, &image);
     std::vector<Tuple> survivors;
     survivors.reserve(alive.size());
     for (const Tuple& c : alive) {

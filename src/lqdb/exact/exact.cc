@@ -4,10 +4,8 @@
 
 namespace lqdb {
 
-namespace {
-
-Status ValidateCandidate(const CwDatabase& lb, const Query& query,
-                         const Tuple& candidate) {
+Status ValidateExactCandidate(const CwDatabase& lb, const Query& query,
+                              const Tuple& candidate) {
   if (candidate.size() != query.arity()) {
     return Status::InvalidArgument("candidate arity does not match query");
   }
@@ -19,27 +17,41 @@ Status ValidateCandidate(const CwDatabase& lb, const Query& query,
   return Status::OK();
 }
 
-}  // namespace
+std::vector<Tuple> AllCandidateTuples(size_t arity, ConstId n) {
+  std::vector<Tuple> out;
+  Tuple t(arity, 0);
+  while (true) {
+    out.push_back(t);
+    size_t pos = 0;
+    while (pos < arity && ++t[pos] == n) {
+      t[pos] = 0;
+      ++pos;
+    }
+    if (pos == arity) break;
+  }
+  return out;
+}
 
 Result<bool> ExactEvaluator::Contains(
     const Query& query, const Tuple& candidate,
     std::optional<Counterexample>* counterexample) {
   LQDB_RETURN_IF_ERROR(lb_->Validate());
-  LQDB_RETURN_IF_ERROR(ValidateCandidate(*lb_, query, candidate));
+  LQDB_RETURN_IF_ERROR(ValidateExactCandidate(*lb_, query, candidate));
   if (counterexample != nullptr) counterexample->reset();
 
   bool contained = true;
   Status error = Status::OK();
   uint64_t examined = 0;
 
+  PhysicalDatabase image(&lb_->vocab());
+  Evaluator eval(&image, options_.eval);
   ForEachCanonicalMapping(*lb_, [&](const ConstMapping& h) {
     if (++examined > options_.max_mappings) {
       error = Status::ResourceExhausted(
           "exceeded max_mappings = " + std::to_string(options_.max_mappings));
       return false;
     }
-    PhysicalDatabase image = ApplyMapping(*lb_, h);
-    Evaluator eval(&image, options_.eval);
+    ApplyMappingInto(*lb_, h, &image);
     std::map<VarId, Value> binding;
     for (size_t i = 0; i < candidate.size(); ++i) {
       binding[query.head()[i]] = h[candidate[i]];
@@ -65,21 +77,22 @@ Result<bool> ExactEvaluator::IsPossible(
     const Query& query, const Tuple& candidate,
     std::optional<Counterexample>* witness) {
   LQDB_RETURN_IF_ERROR(lb_->Validate());
-  LQDB_RETURN_IF_ERROR(ValidateCandidate(*lb_, query, candidate));
+  LQDB_RETURN_IF_ERROR(ValidateExactCandidate(*lb_, query, candidate));
   if (witness != nullptr) witness->reset();
 
   bool possible = false;
   Status error = Status::OK();
   uint64_t examined = 0;
 
+  PhysicalDatabase image(&lb_->vocab());
+  Evaluator eval(&image, options_.eval);
   ForEachCanonicalMapping(*lb_, [&](const ConstMapping& h) {
     if (++examined > options_.max_mappings) {
       error = Status::ResourceExhausted(
           "exceeded max_mappings = " + std::to_string(options_.max_mappings));
       return false;
     }
-    PhysicalDatabase image = ApplyMapping(*lb_, h);
-    Evaluator eval(&image, options_.eval);
+    ApplyMappingInto(*lb_, h, &image);
     std::map<VarId, Value> binding;
     for (size_t i = 0; i < candidate.size(); ++i) {
       binding[query.head()[i]] = h[candidate[i]];
@@ -109,31 +122,20 @@ Result<Relation> ExactEvaluator::PossibleAnswer(const Query& query) {
 
   // Dual pruning to Answer: candidates start *dead* and every mapping may
   // resurrect some; stop once all are alive.
-  std::vector<Tuple> pending;
-  {
-    Tuple t(arity, 0);
-    while (true) {
-      pending.push_back(t);
-      size_t pos = 0;
-      while (pos < arity && ++t[pos] == n) {
-        t[pos] = 0;
-        ++pos;
-      }
-      if (pos == arity) break;
-    }
-  }
+  std::vector<Tuple> pending = AllCandidateTuples(arity, n);
 
   Relation answer(static_cast<int>(arity));
   Status error = Status::OK();
   uint64_t examined = 0;
+  PhysicalDatabase image(&lb_->vocab());
+  Evaluator eval(&image, options_.eval);
   ForEachCanonicalMapping(*lb_, [&](const ConstMapping& h) {
     if (++examined > options_.max_mappings) {
       error = Status::ResourceExhausted(
           "exceeded max_mappings = " + std::to_string(options_.max_mappings));
       return false;
     }
-    PhysicalDatabase image = ApplyMapping(*lb_, h);
-    Evaluator eval(&image, options_.eval);
+    ApplyMappingInto(*lb_, h, &image);
     std::vector<Tuple> still_pending;
     still_pending.reserve(pending.size());
     for (Tuple& c : pending) {
@@ -165,30 +167,19 @@ Result<Relation> ExactEvaluator::Answer(const Query& query) {
   const ConstId n = static_cast<ConstId>(lb_->num_constants());
 
   // All candidate tuples over C start alive; every mapping prunes.
-  std::vector<Tuple> alive;
-  {
-    Tuple t(arity, 0);
-    while (true) {
-      alive.push_back(t);
-      size_t pos = 0;
-      while (pos < arity && ++t[pos] == n) {
-        t[pos] = 0;
-        ++pos;
-      }
-      if (pos == arity) break;
-    }
-  }
+  std::vector<Tuple> alive = AllCandidateTuples(arity, n);
 
   Status error = Status::OK();
   uint64_t examined = 0;
+  PhysicalDatabase image(&lb_->vocab());
+  Evaluator eval(&image, options_.eval);
   ForEachCanonicalMapping(*lb_, [&](const ConstMapping& h) {
     if (++examined > options_.max_mappings) {
       error = Status::ResourceExhausted(
           "exceeded max_mappings = " + std::to_string(options_.max_mappings));
       return false;
     }
-    PhysicalDatabase image = ApplyMapping(*lb_, h);
-    Evaluator eval(&image, options_.eval);
+    ApplyMappingInto(*lb_, h, &image);
     std::vector<Tuple> survivors;
     survivors.reserve(alive.size());
     for (const Tuple& c : alive) {

@@ -22,6 +22,17 @@ struct ExactOptions {
   EvalOptions eval;
 };
 
+/// Checks that `candidate` has the query's arity and only references
+/// constants of `lb` — the shared entry validation of the Theorem 1
+/// engines (exact, brute, parallel).
+Status ValidateExactCandidate(const CwDatabase& lb, const Query& query,
+                              const Tuple& candidate);
+
+/// All tuples over the constants `[0, n)` of the given arity, in odometer
+/// order — the candidate space the Theorem 1 engines prune (one shared
+/// definition so sequential and parallel answers enumerate identically).
+std::vector<Tuple> AllCandidateTuples(size_t arity, ConstId n);
+
 /// A witness that a tuple is *not* in `Q(LB)`: a mapping `h` respecting the
 /// uniqueness axioms with `h(c) ∉ Q(h(Ph₁(LB)))` — i.e. a model of `T`
 /// falsifying `φ(c)` (Theorem 1). This is the NP certificate from the

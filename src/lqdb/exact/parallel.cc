@@ -1,0 +1,232 @@
+#include "lqdb/exact/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "lqdb/eval/evaluator.h"
+
+namespace lqdb {
+
+/// Shared coordination state for one fan-out: the range queue cursor, the
+/// cooperative stop flag, the global mapping budget, and the first error.
+class ParallelExactEvaluator::Walk {
+ public:
+  Walk(const CwDatabase* lb, const ParallelExactOptions& options,
+       ThreadPool* pool)
+      : lb_(lb), options_(options), pool_(pool) {
+    ranges_ = SplitCanonicalMappingSpace(
+        *lb, static_cast<size_t>(pool->num_threads()) *
+                 static_cast<size_t>(std::max(1, options.ranges_per_thread)));
+  }
+
+  /// Runs `per_mapping(h, eval)` over every canonical mapping, fanned
+  /// across the pool; `per_mapping` returns false to abort the whole walk
+  /// (it should call `Stop()` or `RecordError()` first so other workers
+  /// stand down). Blocks until all workers finish.
+  template <typename PerMapping>
+  void Run(const PerMapping& per_mapping) {
+    const int workers = pool_->num_threads();
+    for (int w = 0; w < workers; ++w) {
+      pool_->Submit([this, &per_mapping] { Worker(per_mapping); });
+    }
+    pool_->Wait();
+  }
+
+  void Stop() { stop_.store(true, std::memory_order_relaxed); }
+  bool stopped() const { return stop_.load(std::memory_order_relaxed); }
+
+  void RecordError(Status error) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (error_.ok()) error_ = std::move(error);
+    }
+    Stop();
+  }
+
+  /// Valid after Run() returned.
+  const Status& error() const { return error_; }
+  uint64_t examined() const {
+    return examined_.load(std::memory_order_relaxed);
+  }
+
+  std::mutex& mu() { return mu_; }
+
+ private:
+  template <typename PerMapping>
+  void Worker(const PerMapping& per_mapping) {
+    // Per-worker scratch: one image database and one evaluator, reused for
+    // every mapping this worker examines.
+    PhysicalDatabase image(&lb_->vocab());
+    Evaluator eval(&image, options_.base.eval);
+    while (!stopped()) {
+      const size_t r = next_range_.fetch_add(1, std::memory_order_relaxed);
+      if (r >= ranges_.size()) break;
+      ForEachCanonicalMappingInRange(
+          *lb_, ranges_[r], [&](const ConstMapping& h) {
+            if (stopped()) return false;
+            const uint64_t seen =
+                examined_.fetch_add(1, std::memory_order_relaxed) + 1;
+            if (seen > options_.base.max_mappings) {
+              RecordError(Status::ResourceExhausted(
+                  "exceeded max_mappings = " +
+                  std::to_string(options_.base.max_mappings)));
+              return false;
+            }
+            ApplyMappingInto(*lb_, h, &image);
+            return per_mapping(h, &eval);
+          });
+    }
+  }
+
+  const CwDatabase* lb_;
+  const ParallelExactOptions& options_;
+  ThreadPool* pool_;
+  std::vector<MappingRange> ranges_;
+  std::atomic<size_t> next_range_{0};
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> examined_{0};
+  std::mutex mu_;
+  Status error_;
+};
+
+ParallelExactEvaluator::ParallelExactEvaluator(const CwDatabase* lb,
+                                               ParallelExactOptions options)
+    : lb_(lb),
+      options_(options),
+      pool_(std::make_unique<ThreadPool>(options.threads > 0
+                                             ? options.threads
+                                             : ThreadPool::DefaultThreads())) {
+}
+
+ParallelExactEvaluator::~ParallelExactEvaluator() = default;
+
+Result<bool> ParallelExactEvaluator::ContainsImpl(
+    const Query& query, const Tuple& candidate, bool possible_mode,
+    std::optional<Counterexample>* witness) {
+  LQDB_RETURN_IF_ERROR(lb_->Validate());
+  LQDB_RETURN_IF_ERROR(ValidateExactCandidate(*lb_, query, candidate));
+  if (witness != nullptr) witness->reset();
+
+  // Certain membership falls as soon as one mapping falsifies; possible
+  // membership rises as soon as one mapping satisfies. Both are a parallel
+  // search for one decisive mapping.
+  std::atomic<bool> decided{false};
+  ConstMapping decisive_h;
+
+  Walk walk(lb_, options_, pool_.get());
+  walk.Run([&](const ConstMapping& h, Evaluator* eval) {
+    std::map<VarId, Value> binding;
+    for (size_t i = 0; i < candidate.size(); ++i) {
+      binding[query.head()[i]] = h[candidate[i]];
+    }
+    Result<bool> sat = eval->SatisfiesWith(query.body(), binding);
+    if (!sat.ok()) {
+      walk.RecordError(sat.status());
+      return false;
+    }
+    if (sat.value() == possible_mode) {
+      // Decisive mapping: a falsifier (certain mode) or a witness
+      // (possible mode) settles the question for every worker.
+      std::lock_guard<std::mutex> lock(walk.mu());
+      if (!decided.load(std::memory_order_relaxed)) {
+        decided.store(true, std::memory_order_relaxed);
+        decisive_h = h;
+      }
+      walk.Stop();
+      return false;
+    }
+    return true;
+  });
+  last_mappings_ = walk.examined();
+  if (!walk.error().ok()) return walk.error();
+  if (decided.load() && witness != nullptr) {
+    *witness = Counterexample{decisive_h};
+  }
+  return possible_mode ? decided.load() : !decided.load();
+}
+
+Result<bool> ParallelExactEvaluator::Contains(
+    const Query& query, const Tuple& candidate,
+    std::optional<Counterexample>* counterexample) {
+  return ContainsImpl(query, candidate, /*possible_mode=*/false,
+                      counterexample);
+}
+
+Result<bool> ParallelExactEvaluator::IsPossible(
+    const Query& query, const Tuple& candidate,
+    std::optional<Counterexample>* witness) {
+  return ContainsImpl(query, candidate, /*possible_mode=*/true, witness);
+}
+
+Result<Relation> ParallelExactEvaluator::AnswerImpl(const Query& query,
+                                                    bool possible_mode) {
+  LQDB_RETURN_IF_ERROR(lb_->Validate());
+
+  const size_t arity = query.arity();
+  const ConstId n = static_cast<ConstId>(lb_->num_constants());
+  const std::vector<Tuple> candidates = AllCandidateTuples(arity, n);
+
+  // Certain mode: candidates start alive and any falsifying mapping kills
+  // them (the answer is the intersection over mappings). Possible mode:
+  // candidates start dead and any satisfying mapping resurrects them (the
+  // answer is the union). Either way a candidate's final state is
+  // order-independent, so the parallel answer is deterministic. `open[i]`
+  // is 1 while candidate i is still undecided; `remaining` counts open
+  // candidates so the last decision can stop all workers.
+  std::unique_ptr<std::atomic<uint8_t>[]> open(
+      new std::atomic<uint8_t>[candidates.size()]);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    open[i].store(1, std::memory_order_relaxed);
+  }
+  std::atomic<size_t> remaining{candidates.size()};
+
+  Walk walk(lb_, options_, pool_.get());
+  walk.Run([&](const ConstMapping& h, Evaluator* eval) {
+    std::map<VarId, Value> binding;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (open[i].load(std::memory_order_relaxed) == 0) continue;
+      for (size_t j = 0; j < arity; ++j) {
+        binding[query.head()[j]] = h[candidates[i][j]];
+      }
+      Result<bool> sat = eval->SatisfiesWith(query.body(), binding);
+      if (!sat.ok()) {
+        walk.RecordError(sat.status());
+        return false;
+      }
+      // This mapping decides candidate i when it falsifies (certain mode)
+      // or satisfies (possible mode).
+      if (sat.value() != possible_mode) continue;
+      if (open[i].exchange(0, std::memory_order_relaxed) == 1) {
+        if (remaining.fetch_sub(1, std::memory_order_relaxed) == 1) {
+          walk.Stop();  // every candidate decided — nothing left to learn
+          return false;
+        }
+      }
+    }
+    return true;
+  });
+  last_mappings_ = walk.examined();
+  if (!walk.error().ok()) return walk.error();
+
+  // Certain answer = never falsified (still open); possible answer =
+  // witnessed at least once (closed).
+  Relation answer(static_cast<int>(arity));
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const bool undecided = open[i].load(std::memory_order_relaxed) == 1;
+    if (undecided != possible_mode) answer.Insert(candidates[i]);
+  }
+  return answer;
+}
+
+Result<Relation> ParallelExactEvaluator::Answer(const Query& query) {
+  return AnswerImpl(query, /*possible_mode=*/false);
+}
+
+Result<Relation> ParallelExactEvaluator::PossibleAnswer(const Query& query) {
+  return AnswerImpl(query, /*possible_mode=*/true);
+}
+
+}  // namespace lqdb

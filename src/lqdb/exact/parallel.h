@@ -1,0 +1,93 @@
+#ifndef LQDB_EXACT_PARALLEL_H_
+#define LQDB_EXACT_PARALLEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "lqdb/cwdb/cw_database.h"
+#include "lqdb/cwdb/mapping.h"
+#include "lqdb/exact/exact.h"
+#include "lqdb/logic/query.h"
+#include "lqdb/relational/relation.h"
+#include "lqdb/util/result.h"
+#include "lqdb/util/thread_pool.h"
+
+namespace lqdb {
+
+struct ParallelExactOptions {
+  /// Limits and evaluator options shared with the sequential engine.
+  /// `base.max_mappings` is accounted *globally* across all workers.
+  ExactOptions base;
+  /// Worker threads; 0 means `ThreadPool::DefaultThreads()`.
+  int threads = 0;
+  /// The kernel-partition space is split into about
+  /// `threads * ranges_per_thread` independent ranges so stragglers can
+  /// steal work; higher values smooth load at slightly more split cost.
+  int ranges_per_thread = 8;
+};
+
+/// The Theorem 1 exact engine with the canonical-mapping enumeration fanned
+/// out across a thread pool. `SplitCanonicalMappingSpace` partitions the
+/// kernel-partition space by restricted-growth-string prefix into
+/// independent ranges; workers pull ranges from a shared queue, each with
+/// its own scratch image database, and publish verdicts through atomic
+/// per-candidate flags.
+///
+/// Early exit is cooperative: the first counterexample (for `Contains`),
+/// the last surviving candidate dying (for `Answer`), or the last candidate
+/// being witnessed (for `PossibleAnswer`) raises an atomic stop flag that
+/// every worker polls per mapping. Answers are bit-identical across thread
+/// counts — a candidate's membership is a property of the mapping space,
+/// not of the traversal order. Which *witness or counterexample mapping* is
+/// reported, and the exact `last_mappings_examined()` figure under early
+/// exit, may vary between runs.
+class ParallelExactEvaluator {
+ public:
+  explicit ParallelExactEvaluator(const CwDatabase* lb,
+                                  ParallelExactOptions options = {});
+  ~ParallelExactEvaluator();
+
+  ParallelExactEvaluator(const ParallelExactEvaluator&) = delete;
+  ParallelExactEvaluator& operator=(const ParallelExactEvaluator&) = delete;
+
+  /// The certain answer `Q(LB)`; identical to `ExactEvaluator::Answer`.
+  Result<Relation> Answer(const Query& query);
+
+  /// Membership of one candidate tuple; fills `*counterexample` (when
+  /// non-null) with *a* falsifying mapping if the answer is negative.
+  Result<bool> Contains(const Query& query, const Tuple& candidate,
+                        std::optional<Counterexample>* counterexample =
+                            nullptr);
+
+  /// Tuples holding in at least one model; identical to
+  /// `ExactEvaluator::PossibleAnswer`.
+  Result<Relation> PossibleAnswer(const Query& query);
+
+  /// Membership in the possible answer, with an optional witnessing model.
+  Result<bool> IsPossible(const Query& query, const Tuple& candidate,
+                          std::optional<Counterexample>* witness = nullptr);
+
+  /// Mappings examined by the most recent call, summed across workers.
+  uint64_t last_mappings_examined() const { return last_mappings_; }
+
+  /// The number of worker threads actually running.
+  int threads() const { return pool_->num_threads(); }
+
+ private:
+  class Walk;
+
+  Result<Relation> AnswerImpl(const Query& query, bool possible_mode);
+  Result<bool> ContainsImpl(const Query& query, const Tuple& candidate,
+                            bool possible_mode,
+                            std::optional<Counterexample>* witness);
+
+  const CwDatabase* lb_;
+  ParallelExactOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
+  uint64_t last_mappings_ = 0;
+};
+
+}  // namespace lqdb
+
+#endif  // LQDB_EXACT_PARALLEL_H_

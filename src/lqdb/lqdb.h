@@ -29,10 +29,12 @@
 #include "lqdb/cwdb/ph.h"
 #include "lqdb/cwdb/simulation.h"
 #include "lqdb/cwdb/theory.h"
+#include "lqdb/engine/engine.h"
 #include "lqdb/eval/answer.h"
 #include "lqdb/eval/evaluator.h"
 #include "lqdb/exact/brute.h"
 #include "lqdb/exact/exact.h"
+#include "lqdb/exact/parallel.h"
 #include "lqdb/io/text_format.h"
 #include "lqdb/logic/builder.h"
 #include "lqdb/logic/classify.h"

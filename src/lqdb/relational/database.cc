@@ -4,6 +4,16 @@
 
 namespace lqdb {
 
+void PhysicalDatabase::Clear() {
+  domain_.clear();
+  domain_set_.clear();
+  constants_.clear();
+  for (auto& [pred, rel] : relations_) {
+    (void)pred;
+    rel.Clear();
+  }
+}
+
 Status PhysicalDatabase::SetConstant(ConstId c, Value v) {
   if (!InDomain(v)) {
     return Status::InvalidArgument(

@@ -34,6 +34,13 @@ class PhysicalDatabase {
     if (domain_set_.insert(v).second) domain_.push_back(v);
   }
 
+  /// Empties the domain, the constant assignment and every relation while
+  /// keeping container capacity, so the database can serve as reusable
+  /// scratch in per-mapping hot loops (see `ApplyMappingInto`). Stored
+  /// relations stay present but empty — semantically identical to absent
+  /// ones under the closed-world reading of `relation()`.
+  void Clear();
+
   /// Domain values in insertion order.
   const std::vector<Value>& domain() const { return domain_; }
   bool InDomain(Value v) const { return domain_set_.count(v) > 0; }

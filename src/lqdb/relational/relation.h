@@ -29,6 +29,10 @@ class Relation {
 
   bool Contains(const Tuple& t) const { return tuples_.count(t) > 0; }
 
+  /// Removes every tuple but keeps the hash-table capacity, so a relation
+  /// used as enumeration scratch does not reallocate its buckets per use.
+  void Clear() { tuples_.clear(); }
+
   const TupleSet& tuples() const { return tuples_; }
 
   bool operator==(const Relation& other) const {

@@ -1,0 +1,57 @@
+#ifndef LQDB_UTIL_THREAD_POOL_H_
+#define LQDB_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lqdb {
+
+/// A small fixed-size worker pool. Tasks are plain `void()` closures;
+/// `Wait()` blocks until every submitted task has finished, so one pool can
+/// be reused across many fan-out rounds (the parallel exact engine keeps a
+/// pool alive across queries instead of spawning threads per call).
+///
+/// Exceptions must not escape tasks (the library is Status-based); a task
+/// that throws terminates the process.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers; values < 1 are clamped to 1.
+  explicit ThreadPool(int num_threads);
+
+  /// Joins all workers. Pending tasks are drained first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has completed.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// `std::thread::hardware_concurrency()` with a floor of 1 (the standard
+  /// allows it to return 0 when unknown).
+  static int DefaultThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;  // queued + currently running tasks
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace lqdb
+
+#endif  // LQDB_UTIL_THREAD_POOL_H_

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "lqdb/approx/approx.h"
+#include "lqdb/engine/engine.h"
 #include "lqdb/exact/brute.h"
 #include "lqdb/exact/exact.h"
 #include "lqdb/logic/classify.h"
@@ -216,6 +217,60 @@ TEST(DifferentialTest, PositiveQueriesAreComplete) {
         << AnswerDiff(*instance.db, "approx", approx_answer, "exact",
                       exact_answer);
   }
+}
+
+/// The parallel-engine agreement dimension: `ParallelExactEvaluator`
+/// (reached through the engine registry, the way every other caller gets
+/// it) must compute exactly the same certain and possible answers as the
+/// sequential `ExactEvaluator` on *every* instance the suite generates —
+/// the same 268 (profile, seed) pairs the other dimensions sweep, so a
+/// partition-splitting or coordination bug cannot hide in a corner the
+/// sequential tests cover but the parallel ones skip.
+TEST(DifferentialTest, ParallelExactAgreesOnAllInstances) {
+  struct Sweep {
+    InstanceProfile profile;
+    uint64_t seeds;
+  };
+  // Mirrors the instance sets of the other tests in this file:
+  // 3×40 (brute-vs-exact) + 2×30 (approx configs) + 40 + 40 + 8 = 268.
+  const Sweep sweeps[] = {
+      {InstanceProfile::kTiny, 40},   {InstanceProfile::kSmall, 40},
+      {InstanceProfile::kBinary, 40}, {InstanceProfile::kSmall, 30},
+      {InstanceProfile::kBinary, 30}, {InstanceProfile::kFullySpecified, 40},
+      {InstanceProfile::kPositive, 40}, {InstanceProfile::kTiny, 8},
+  };
+  uint64_t instances = 0;
+  for (const Sweep& sweep : sweeps) {
+    for (uint64_t seed = 0; seed < sweep.seeds; ++seed) {
+      ++instances;
+      DifferentialInstance instance = MakeInstance(seed, sweep.profile);
+      SCOPED_TRACE(Describe(instance));
+
+      ExactEvaluator exact(instance.db.get());
+      ASSERT_OK_AND_ASSIGN(Relation exact_answer,
+                           exact.Answer(instance.query));
+      ASSERT_OK_AND_ASSIGN(Relation exact_possible,
+                           exact.PossibleAnswer(instance.query));
+
+      EngineOptions options;
+      options.threads = 4;
+      ASSERT_OK_AND_ASSIGN(std::unique_ptr<QueryEngine> parallel,
+                           EngineRegistry::Global().Create(
+                               "parallel-exact", instance.db.get(), options));
+      ASSERT_OK_AND_ASSIGN(Relation parallel_answer,
+                           parallel->Answer(instance.query));
+      EXPECT_EQ(parallel_answer, exact_answer)
+          << AnswerDiff(*instance.db, "parallel", parallel_answer, "exact",
+                        exact_answer);
+
+      ASSERT_OK_AND_ASSIGN(Relation parallel_possible,
+                           parallel->PossibleAnswer(instance.query));
+      EXPECT_EQ(parallel_possible, exact_possible)
+          << AnswerDiff(*instance.db, "parallel", parallel_possible, "exact",
+                        exact_possible);
+    }
+  }
+  EXPECT_EQ(instances, 268u);
 }
 
 /// First-principles cross-check on tiny instances: membership according to

@@ -109,6 +109,75 @@ exact true
   EXPECT_NE(out.find("{()}"), std::string::npos) << out;
 }
 
+TEST(ShellTest, EngineRegistryCommands) {
+  std::string out = RunShellScript(R"(unknown Jack
+fact MURDERER(Jack)
+known Victoria
+distinct Jack Victoria
+engines
+set engine parallel-exact
+set threads 2
+query (x) . !MURDERER(x)
+set engine approx
+query (x) . !MURDERER(x)
+)");
+  // `engines` lists every builtin with capability flags.
+  for (const char* name :
+       {"brute", "exact", "parallel-exact", "approx", "physical"}) {
+    EXPECT_NE(out.find(name), std::string::npos) << out;
+  }
+  // Both selected engines clear exactly Victoria.
+  size_t first = out.find("{(Victoria)}");
+  ASSERT_NE(first, std::string::npos) << out;
+  EXPECT_NE(out.find("{(Victoria)}", first + 1), std::string::npos) << out;
+  EXPECT_EQ(out.find("error:"), std::string::npos) << out;
+}
+
+TEST(ShellTest, SetRejectsBadValues) {
+  std::string out = RunShellScript(R"(set engine frobnicator
+set threads banana
+set max_mappings 0
+set flux_capacitor 11
+)");
+  // Four errors, shell stays alive for each.
+  size_t pos = 0;
+  int errors = 0;
+  while ((pos = out.find("error:", pos)) != std::string::npos) {
+    ++errors;
+    ++pos;
+  }
+  EXPECT_EQ(errors, 4) << out;
+  // The unknown-engine error names the registered engines.
+  EXPECT_NE(out.find("parallel-exact"), std::string::npos) << out;
+}
+
+TEST(ShellTest, ParallelExactAgreesInTheShell) {
+  // The same Theorem 1 query through 1, 2 and 4 threads — answers must be
+  // identical (the shell upgrades `exact` to parallel-exact when threads
+  // != 1).
+  std::string out = RunShellScript(R"(unknown Jack
+unknown Nemo
+fact MURDERER(Jack)
+known Victoria Disraeli
+distinct Jack Victoria
+exact (x) . !MURDERER(x)
+set threads 2
+exact (x) . !MURDERER(x)
+set threads 4
+exact (x) . !MURDERER(x)
+)");
+  EXPECT_EQ(out.find("error:"), std::string::npos) << out;
+  // Three identical answers: Nemo could be the murderer, so only Victoria
+  // is provably innocent.
+  size_t pos = 0;
+  int hits = 0;
+  while ((pos = out.find("{(Victoria)}", pos)) != std::string::npos) {
+    ++hits;
+    ++pos;
+  }
+  EXPECT_EQ(hits, 3) << out;
+}
+
 #ifdef LQDB_TEST_DATA_DIR
 /// Smoke: the checked-in session script touches every shell command; the
 /// whole run must complete without an error or unknown-command line.

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Collects google-benchmark JSON outputs into one BENCH_<pr>.json.
+
+Workflow (wired through bench_common.h):
+
+    cmake -B build -S . -DLQDB_BUILD_BENCHMARKS=ON && cmake --build build -j
+    mkdir -p bench-json
+    for b in build/bench_e*; do LQDB_BENCH_JSON_DIR=bench-json "$b"; done
+    tools/collect_bench.py --dir bench-json --pr 3        # -> BENCH_3.json
+
+Each bench binary writes `<binary>.json` into $LQDB_BENCH_JSON_DIR (the
+standard --benchmark_out format). This script merges them, keyed by binary
+name, keeping one shared context block (host, CPU, build flags) so the
+perf trajectory across PRs can be diffed mechanically:
+
+    {
+      "context": { ... google-benchmark context of the first file ... },
+      "suites": {
+        "bench_e7_mapping_ablation": [ {"name": ..., "real_time": ...}, ... ],
+        ...
+      }
+    }
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--dir", required=True,
+                        help="directory holding <bench>.json files")
+    parser.add_argument("--pr", type=int, default=None,
+                        help="PR number; writes BENCH_<pr>.json")
+    parser.add_argument("--out", default=None,
+                        help="explicit output path (overrides --pr)")
+    args = parser.parse_args()
+
+    if args.out is None and args.pr is None:
+        parser.error("pass --pr N or --out FILE")
+    out_path = pathlib.Path(args.out or f"BENCH_{args.pr}.json")
+
+    json_dir = pathlib.Path(args.dir)
+    inputs = sorted(json_dir.glob("*.json"))
+    if not inputs:
+        print(f"no *.json files under {json_dir}", file=sys.stderr)
+        return 1
+
+    merged = {"context": None, "suites": {}}
+    for path in inputs:
+        try:
+            data = json.loads(path.read_text())
+        except json.JSONDecodeError as err:
+            print(f"skipping {path}: {err}", file=sys.stderr)
+            continue
+        if merged["context"] is None:
+            merged["context"] = data.get("context")
+        merged["suites"][path.stem] = data.get("benchmarks", [])
+
+    if not merged["suites"]:
+        print("no parseable benchmark files", file=sys.stderr)
+        return 1
+
+    out_path.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
+    total = sum(len(v) for v in merged["suites"].values())
+    print(f"wrote {out_path}: {len(merged['suites'])} suites, "
+          f"{total} benchmark entries")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

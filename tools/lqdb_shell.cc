@@ -1,12 +1,14 @@
 // lqdb_shell — an interactive front end for CW logical databases.
 //
 // Loads a database in the lqdb text format (see src/lqdb/io/text_format.h)
-// and answers queries with any of the engines in the library:
+// and answers queries with any engine in the registry:
 //
 //     $ lqdb_shell mydb.lqdb
 //     lqdb> exact (x) . !MURDERER(x)
 //     {(Victoria)}
-//     lqdb> approx (x) . !MURDERER(x)
+//     lqdb> set engine parallel-exact
+//     lqdb> set threads 4
+//     lqdb> query (x) . !MURDERER(x)
 //     {(Victoria)}
 //
 // Run `help` inside the shell for the command list. A script path may be
@@ -17,15 +19,16 @@
 #include <iostream>
 #include <memory>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 
 #include "lqdb/approx/approx.h"
 #include "lqdb/cwdb/cw_database.h"
 #include "lqdb/cwdb/ph.h"
 #include "lqdb/cwdb/theory.h"
+#include "lqdb/engine/engine.h"
 #include "lqdb/eval/answer.h"
 #include "lqdb/eval/evaluator.h"
-#include "lqdb/exact/exact.h"
 #include "lqdb/io/text_format.h"
 #include "lqdb/logic/parser.h"
 #include "lqdb/logic/printer.h"
@@ -48,6 +51,11 @@ constexpr const char* kHelp = R"(commands:
   possible QUERY         tuples holding in at least one model
   approx QUERY           sound polynomial approximation (Section 5)
   physical QUERY         naive evaluation over Ph1 (ignores nulls!)
+  query QUERY            evaluate with the currently selected engine
+  engines                list registered engines and their capabilities
+  set engine NAME        select the engine used by `query`
+  set threads N          worker threads for parallel engines (0 = hardware)
+  set max_mappings N     Theorem 1 enumeration budget per query
   plan QUERY             show Q^, its relational-algebra plan and SQL
   help                   this text
   quit                   leave
@@ -55,7 +63,9 @@ query syntax:  (x, y) . exists z. R(x, z) & !S(z, y)   or a sentence)";
 
 class Shell {
  public:
-  Shell() : lb_(std::make_unique<CwDatabase>()) {}
+  Shell() : lb_(std::make_unique<CwDatabase>()) {
+    options_.threads = 1;  // sequential by default; `set threads` overrides
+  }
 
   /// Returns false when the shell should exit.
   bool Handle(const std::string& line) {
@@ -76,6 +86,7 @@ class Shell {
         Report(loaded.status());
       } else {
         lb_ = std::move(loaded).value();
+        engine_cache_.reset();
         std::printf("loaded %zu constants, %zu facts, %zu explicit axioms\n",
                     lb_->num_constants(), lb_->NumFacts(),
                     lb_->explicit_distinct().size());
@@ -95,6 +106,7 @@ class Shell {
         Report(merged.status());
       } else {
         lb_ = std::move(merged).value();
+        engine_cache_.reset();
       }
     } else if (cmd == "known" || cmd == "unknown" || cmd == "distinct") {
       auto merged = ParseCwDatabase(SerializeCwDatabase(*lb_) + "\n" + cmd +
@@ -103,9 +115,14 @@ class Shell {
         Report(merged.status());
       } else {
         lb_ = std::move(merged).value();
+        engine_cache_.reset();
       }
+    } else if (cmd == "engines") {
+      ListEngines();
+    } else if (cmd == "set") {
+      Set(rest);
     } else if (cmd == "exact" || cmd == "possible" || cmd == "approx" ||
-               cmd == "physical" || cmd == "plan") {
+               cmd == "physical" || cmd == "query" || cmd == "plan") {
       RunQuery(cmd, rest);
     } else {
       std::printf("unknown command '%s' (try 'help')\n", cmd.c_str());
@@ -132,31 +149,90 @@ class Shell {
                 lb_->IsFullySpecified() ? "yes" : "no");
   }
 
-  void RunQuery(const std::string& engine, const std::string& text) {
+  void ListEngines() {
+    const EngineRegistry& registry = EngineRegistry::Global();
+    std::printf("%-16s %-6s %-9s %-11s %-9s\n", "engine", "sound",
+                "complete", "polynomial", "possible");
+    for (const std::string& name : registry.Names()) {
+      auto caps = registry.CapabilitiesOf(name);
+      if (!caps.ok()) continue;
+      std::printf("%-16s %-6s %-9s %-11s %-9s%s\n", name.c_str(),
+                  caps->sound ? "yes" : "no",
+                  caps->complete ? "yes" : "no",
+                  caps->polynomial ? "yes" : "no",
+                  caps->supports_possible ? "yes" : "no",
+                  name == engine_name_ ? "   <- selected" : "");
+    }
+    std::printf("threads: %d   max_mappings: %llu\n", options_.threads,
+                static_cast<unsigned long long>(options_.exact.max_mappings));
+  }
+
+  void Set(const std::string& rest) {
+    std::istringstream in(rest);
+    std::string key, value;
+    in >> key >> value;
+    if (key == "engine") {
+      if (!EngineRegistry::Global().Has(value)) {
+        Report(EngineRegistry::Global().Create(value, lb_.get()).status());
+        return;
+      }
+      engine_name_ = value;
+      std::printf("engine = %s\n", engine_name_.c_str());
+    } else if (key == "threads") {
+      int threads = -1;
+      try {
+        threads = std::stoi(value);
+      } catch (...) {
+      }
+      if (threads < 0) {
+        Report(Status::InvalidArgument(
+            "set threads expects a nonnegative integer (0 = hardware)"));
+        return;
+      }
+      options_.threads = threads;
+      std::printf("threads = %d\n", options_.threads);
+    } else if (key == "max_mappings") {
+      unsigned long long max = 0;
+      try {
+        // stoull would accept a leading '-' by wrapping; reject it first.
+        if (value.empty() || value[0] == '-') throw std::invalid_argument("");
+        max = std::stoull(value);
+      } catch (...) {
+      }
+      if (max == 0) {
+        Report(Status::InvalidArgument(
+            "set max_mappings expects a positive integer"));
+        return;
+      }
+      options_.exact.max_mappings = max;
+      options_.brute.max_mappings = max;
+      std::printf("max_mappings = %llu\n", max);
+    } else {
+      Report(Status::InvalidArgument(
+          "set expects 'engine NAME', 'threads N' or 'max_mappings N'"));
+    }
+  }
+
+  /// The registry engine a shell command denotes: the per-command engines
+  /// keep their historical names, `query` uses the selected one. A thread
+  /// count other than 1 upgrades `exact`/`possible` to the parallel engine
+  /// — same answers, fanned across workers.
+  std::string EngineFor(const std::string& command) const {
+    if (command == "query") return engine_name_;
+    if (command == "exact" || command == "possible") {
+      return options_.threads == 1 ? "exact" : "parallel-exact";
+    }
+    return command;  // "approx", "physical"
+  }
+
+  void RunQuery(const std::string& command, const std::string& text) {
     auto query = ParseQuery(lb_->mutable_vocab(), text);
     if (!query.ok()) {
       Report(query.status());
       return;
     }
     PhysicalDatabase ph1 = MakePh1(*lb_);
-    if (engine == "exact" || engine == "possible") {
-      ExactEvaluator exact(lb_.get());
-      auto answer = engine == "exact" ? exact.Answer(query.value())
-                                      : exact.PossibleAnswer(query.value());
-      if (!answer.ok()) return Report(answer.status());
-      std::printf("%s\n", AnswerToString(ph1, answer.value()).c_str());
-    } else if (engine == "approx") {
-      auto approx = ApproxEvaluator::Make(lb_.get());
-      if (!approx.ok()) return Report(approx.status());
-      auto answer = approx.value()->Answer(query.value());
-      if (!answer.ok()) return Report(answer.status());
-      std::printf("%s\n", AnswerToString(ph1, answer.value()).c_str());
-    } else if (engine == "physical") {
-      Evaluator eval(&ph1);
-      auto answer = eval.Answer(query.value());
-      if (!answer.ok()) return Report(answer.status());
-      std::printf("%s\n", AnswerToString(ph1, answer.value()).c_str());
-    } else {  // plan
+    if (command == "plan") {
       auto approx = ApproxEvaluator::Make(lb_.get());
       if (!approx.ok()) return Report(approx.status());
       auto tq = approx.value()->Transform(query.value());
@@ -167,10 +243,46 @@ class Shell {
       if (!plan.ok()) return Report(plan.status());
       std::printf("%s", plan.value()->ToString(lb_->vocab()).c_str());
       std::printf("SQL:\n%s\n", EmitSql(lb_->vocab(), plan.value()).c_str());
+      return;
     }
+    QueryEngine* engine = CachedEngine(EngineFor(command));
+    if (engine == nullptr) return;  // creation error already reported
+    auto answer = command == "possible"
+                      ? engine->PossibleAnswer(query.value())
+                      : engine->Answer(query.value());
+    if (!answer.ok()) return Report(answer.status());
+    std::printf("%s\n", AnswerToString(ph1, answer.value()).c_str());
+  }
+
+  /// Engines are cached across query commands so a parallel engine's
+  /// thread pool survives from one query to the next; the cache is dropped
+  /// whenever the database or the engine settings change. The approx
+  /// engine is the exception: its construction snapshots the database
+  /// (building Ph₂ over the current vocabulary), so it is rebuilt per
+  /// query exactly as the pre-registry shell did.
+  QueryEngine* CachedEngine(const std::string& name) {
+    const std::string key =
+        name + "/" + std::to_string(options_.threads) + "/" +
+        std::to_string(options_.exact.max_mappings);
+    if (engine_cache_ != nullptr && engine_cache_key_ == key &&
+        name != "approx") {
+      return engine_cache_.get();
+    }
+    auto engine = EngineRegistry::Global().Create(name, lb_.get(), options_);
+    if (!engine.ok()) {
+      Report(engine.status());
+      return nullptr;
+    }
+    engine_cache_ = std::move(engine).value();
+    engine_cache_key_ = key;
+    return engine_cache_.get();
   }
 
   std::unique_ptr<CwDatabase> lb_;
+  std::string engine_name_ = "exact";
+  EngineOptions options_;
+  std::unique_ptr<QueryEngine> engine_cache_;
+  std::string engine_cache_key_;
 };
 
 int Run(int argc, char** argv) {
