@@ -80,7 +80,11 @@ BENCHMARK(BM_Engine)
 // enumeration dominates, with a positive query so no engine can exit early
 // — measuring the full cost Theorem 1 pays and how it splits across
 // threads. Arg 0 selects sequential "exact"; arg N ≥ 1 selects
-// "parallel-exact" with N threads.
+// "parallel-exact" with N threads. Both engines sweep the surviving
+// candidate set against each image database in one batched
+// `SatisfiesBatch` call, and the parallel engine schedules ranges by work
+// stealing, so these rows also track the shared batched path's health
+// across PR snapshots.
 std::unique_ptr<CwDatabase> MakeEnumerationHeavyDb() {
   auto lb = std::make_unique<CwDatabase>();
   for (int i = 0; i < 4; ++i) {

@@ -53,11 +53,21 @@ namespace {
 /// strings: constant i joins an existing block (when no member conflicts)
 /// or opens a new one. A walk may be rooted at an RGS prefix, in which case
 /// it visits exactly the partitions extending that prefix — the unit of
-/// work behind `SplitCanonicalMappingSpace`.
+/// work behind `SplitCanonicalMappingSpace`. A walk may also carry a
+/// *budget*: after visiting that many partitions it stops and reports the
+/// untaken branches of its recursion stack as disjoint ranges — the unit of
+/// work behind `ForEachCanonicalMappingChunk`.
 class PartitionWalker {
  public:
-  PartitionWalker(const CwDatabase& lb, const MappingVisitor* visit)
-      : lb_(lb), visit_(visit), n_(lb.num_constants()), h_(n_, 0) {}
+  PartitionWalker(const CwDatabase& lb, const MappingVisitor* visit,
+                  uint64_t budget = 0,
+                  std::vector<MappingRange>* remainder = nullptr)
+      : lb_(lb),
+        visit_(visit),
+        budget_(budget),
+        remainder_(remainder),
+        n_(lb.num_constants()),
+        h_(n_, 0) {}
 
   /// Walks the whole space.
   uint64_t Run() {
@@ -73,6 +83,7 @@ class PartitionWalker {
   uint64_t RunFrom(const std::vector<ConstId>& prefix) {
     if (n_ == 0) return 0;
     assert(prefix.size() <= n_);
+    rgs_ = prefix;
     for (ConstId i = 0; i < prefix.size(); ++i) {
       const ConstId block = prefix[i];
       assert(block <= blocks_.size());
@@ -88,46 +99,75 @@ class PartitionWalker {
   }
 
  private:
-  /// Returns false when the walk should stop.
+  /// Returns false when the walk should stop (visitor abort or budget).
   bool Recurse(ConstId i) {
     if (i == n_) {
       ++count_;
-      if (visit_ != nullptr && !(*visit_)(h_)) return false;
+      if (visit_ != nullptr && !(*visit_)(h_)) {
+        visitor_stopped_ = true;
+        return false;
+      }
+      if (budget_ != 0 && count_ >= budget_) return false;
       return true;
     }
     // Index-based iteration: deeper recursion levels push/pop blocks on the
     // same vector, so references and iterators into it do not survive the
     // recursive call. The push/pop pairs are balanced, so `blocks_[bi]` is
-    // valid again once the call returns.
+    // valid again once the call returns. `bi == num_existing` is the
+    // open-a-new-block branch.
+    bool cont = true;
     const size_t num_existing = blocks_.size();
-    for (size_t bi = 0; bi < num_existing; ++bi) {
+    for (size_t bi = 0; bi <= num_existing; ++bi) {
       bool conflict = false;
-      for (ConstId member : blocks_[bi]) {
-        if (lb_.AreDistinct(member, i)) {
-          conflict = true;
-          break;
+      if (bi < num_existing) {
+        for (ConstId member : blocks_[bi]) {
+          if (lb_.AreDistinct(member, i)) {
+            conflict = true;
+            break;
+          }
         }
       }
       if (conflict) continue;
-      blocks_[bi].push_back(i);
-      h_[i] = blocks_[bi][0];
-      bool cont = Recurse(i + 1);
-      blocks_[bi].pop_back();
-      if (!cont) return false;
+      if (!cont) {
+        // The budget ran out somewhere below an earlier sibling: donate
+        // this untaken branch as a range instead of walking it.
+        if (!visitor_stopped_ && remainder_ != nullptr) {
+          MappingRange rest;
+          rest.rgs = rgs_;
+          rest.rgs.push_back(static_cast<ConstId>(bi));
+          remainder_->push_back(std::move(rest));
+        }
+        continue;
+      }
+      if (bi < num_existing) {
+        blocks_[bi].push_back(i);
+        h_[i] = blocks_[bi][0];
+      } else {
+        blocks_.push_back({i});
+        h_[i] = i;
+      }
+      rgs_.push_back(static_cast<ConstId>(bi));
+      cont = Recurse(i + 1);
+      rgs_.pop_back();
+      if (bi < num_existing) {
+        blocks_[bi].pop_back();
+      } else {
+        blocks_.pop_back();
+      }
     }
-    blocks_.push_back({i});
-    h_[i] = i;
-    bool cont = Recurse(i + 1);
-    blocks_.pop_back();
     return cont;
   }
 
   const CwDatabase& lb_;
   const MappingVisitor* visit_;
+  const uint64_t budget_;
+  std::vector<MappingRange>* remainder_;
   const ConstId n_;
   ConstMapping h_;
+  std::vector<ConstId> rgs_;
   std::vector<std::vector<ConstId>> blocks_;
   uint64_t count_ = 0;
+  bool visitor_stopped_ = false;
 };
 
 }  // namespace
@@ -177,6 +217,15 @@ uint64_t ForEachCanonicalMappingInRange(const CwDatabase& lb,
                                         const MappingRange& range,
                                         const MappingVisitor& visit) {
   PartitionWalker walker(lb, &visit);
+  return walker.RunFrom(range.rgs);
+}
+
+uint64_t ForEachCanonicalMappingChunk(const CwDatabase& lb,
+                                      const MappingRange& range,
+                                      uint64_t budget,
+                                      const MappingVisitor& visit,
+                                      std::vector<MappingRange>* remainder) {
+  PartitionWalker walker(lb, &visit, budget, remainder);
   return walker.RunFrom(range.rgs);
 }
 

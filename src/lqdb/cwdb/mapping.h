@@ -62,6 +62,24 @@ uint64_t ForEachCanonicalMappingInRange(const CwDatabase& lb,
                                         const MappingRange& range,
                                         const MappingVisitor& visit);
 
+/// Chunked enumeration of one range for work-stealing schedulers: visits at
+/// most `budget` partitions of `range` (0 = unlimited), then hands the
+/// *unvisited remainder* of the range back by appending pairwise-disjoint
+/// ranges to `*remainder` — the untaken sibling branches of the walk's
+/// recursion stack, at most one per constant per level. A worker can thus
+/// chew a bounded chunk of an arbitrarily skewed range and donate the rest
+/// to a shared queue, bounding serialization at `budget` mappings without
+/// ever materializing the (Bell-number-sized) full split. Returns the
+/// number visited in this chunk; the remainder is left untouched when the
+/// range was exhausted within budget, and also when the visitor stopped the
+/// walk (an early exit abandons the whole enumeration, so there is nothing
+/// to donate).
+uint64_t ForEachCanonicalMappingChunk(const CwDatabase& lb,
+                                      const MappingRange& range,
+                                      uint64_t budget,
+                                      const MappingVisitor& visit,
+                                      std::vector<MappingRange>* remainder);
+
 /// Enumerates one canonical representative per *kernel partition* of the
 /// mappings `h : C → C` that respect the uniqueness axioms. Two mappings
 /// with the same kernel (the same "which constants are merged" partition)

@@ -131,13 +131,13 @@ class PhysicalEngine : public EngineBase {
     if (candidate.size() != query.arity()) {
       return Status::InvalidArgument("candidate arity does not match query");
     }
+    LQDB_ASSIGN_OR_RETURN(BoundQuery bound, BoundQuery::Bind(query));
     PhysicalDatabase ph1 = MakePh1(*lb_);
     Evaluator eval(&ph1, options_);
-    std::map<VarId, Value> binding;
-    for (size_t i = 0; i < candidate.size(); ++i) {
-      binding[query.head()[i]] = candidate[i];
-    }
-    return eval.SatisfiesWith(query.body(), binding);
+    std::vector<char> verdicts;
+    LQDB_RETURN_IF_ERROR(
+        eval.SatisfiesBatch(bound, candidate.data(), 1, &verdicts));
+    return verdicts[0] != 0;
   }
 
  private:

@@ -1,0 +1,39 @@
+#include "lqdb/eval/bound_query.h"
+
+#include <algorithm>
+#include <set>
+
+#include "lqdb/logic/formula.h"
+
+namespace lqdb {
+
+namespace {
+
+void CollectSoPredicates(const FormulaPtr& f, std::set<PredId>* out) {
+  if (f->is_second_order_quantifier()) out->insert(f->pred());
+  for (const auto& c : f->children()) CollectSoPredicates(c, out);
+}
+
+}  // namespace
+
+Result<BoundQuery> BoundQuery::Bind(const Query& query) {
+  if (query.body() == nullptr) {
+    return Status::InvalidArgument("null formula");
+  }
+  for (VarId v : FreeVariables(query.body())) {
+    if (std::find(query.head().begin(), query.head().end(), v) ==
+        query.head().end()) {
+      return Status::InvalidArgument(
+          "free variable of the query body is not in the head");
+    }
+  }
+  BoundQuery bound(&query);
+  const std::set<ConstId> constants = ConstantsOf(query.body());
+  bound.constants_.assign(constants.begin(), constants.end());
+  std::set<PredId> so_preds;
+  CollectSoPredicates(query.body(), &so_preds);
+  bound.so_predicates_.assign(so_preds.begin(), so_preds.end());
+  return bound;
+}
+
+}  // namespace lqdb

@@ -1,0 +1,54 @@
+#ifndef LQDB_EVAL_BOUND_QUERY_H_
+#define LQDB_EVAL_BOUND_QUERY_H_
+
+#include <vector>
+
+#include "lqdb/logic/query.h"
+#include "lqdb/util/result.h"
+
+namespace lqdb {
+
+/// A query pre-resolved for repeated evaluation. `Evaluator::SatisfiesWith`
+/// redoes three pieces of work on every call that depend only on the query,
+/// not on the database state: computing the body's free variables, walking
+/// the body for the constants whose interpretation must be checked, and
+/// walking it again for second-order quantifiers. The Theorem 1 engines
+/// call the evaluator once per candidate per canonical mapping, so that
+/// per-call overhead dominates their inner loop. Binding the query once
+/// hoists all of it, and `Evaluator::SatisfiesBatch` then sweeps a whole
+/// candidate set against one image database with the residual per-candidate
+/// cost reduced to writing head values into the evaluator's flat
+/// environment and walking the formula.
+///
+/// Borrows the query; the query must outlive the binding.
+class BoundQuery {
+ public:
+  /// Pre-resolves `query`. Fails on a null body or a free variable of the
+  /// body missing from the head — impossible for a `Query::Make`-validated
+  /// query, but checked here because the batched path skips the per-call
+  /// free-variable check.
+  static Result<BoundQuery> Bind(const Query& query);
+
+  const Query& query() const { return *query_; }
+  const std::vector<VarId>& head() const { return query_->head(); }
+  size_t arity() const { return query_->arity(); }
+
+  /// Constants mentioned anywhere in the body (cached `ConstantsOf`).
+  const std::vector<ConstId>& constants() const { return constants_; }
+
+  /// Predicates bound by a second-order quantifier somewhere in the body;
+  /// empty for first-order queries, letting the evaluator skip the
+  /// feasibility walk entirely.
+  const std::vector<PredId>& so_predicates() const { return so_predicates_; }
+
+ private:
+  explicit BoundQuery(const Query* query) : query_(query) {}
+
+  const Query* query_;
+  std::vector<ConstId> constants_;
+  std::vector<PredId> so_predicates_;
+};
+
+}  // namespace lqdb
+
+#endif  // LQDB_EVAL_BOUND_QUERY_H_

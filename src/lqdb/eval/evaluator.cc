@@ -14,20 +14,25 @@ void Evaluator::EnsureEnvCapacity() {
   if (env_.size() < need) env_.resize(need, kUnbound);
 }
 
+Status Evaluator::CheckSoPredFeasible(PredId pred) const {
+  int arity = db_->vocab().PredicateArity(pred);
+  double space = 1.0;
+  for (int i = 0; i < arity; ++i) {
+    space *= static_cast<double>(db_->domain_size());
+  }
+  if (space > static_cast<double>(options_.max_so_tuple_space)) {
+    return Status::ResourceExhausted(
+        "second-order quantifier over predicate '" +
+        db_->vocab().PredicateName(pred) + "' spans " +
+        std::to_string(space) + " tuples; limit is " +
+        std::to_string(options_.max_so_tuple_space));
+  }
+  return Status::OK();
+}
+
 Status Evaluator::CheckSoFeasible(const FormulaPtr& f) const {
   if (f->is_second_order_quantifier()) {
-    int arity = db_->vocab().PredicateArity(f->pred());
-    double space = 1.0;
-    for (int i = 0; i < arity; ++i) {
-      space *= static_cast<double>(db_->domain_size());
-    }
-    if (space > static_cast<double>(options_.max_so_tuple_space)) {
-      return Status::ResourceExhausted(
-          "second-order quantifier over predicate '" +
-          db_->vocab().PredicateName(f->pred()) + "' spans " +
-          std::to_string(space) + " tuples; limit is " +
-          std::to_string(options_.max_so_tuple_space));
-    }
+    LQDB_RETURN_IF_ERROR(CheckSoPredFeasible(f->pred()));
   }
   for (const auto& c : f->children()) {
     LQDB_RETURN_IF_ERROR(CheckSoFeasible(c));
@@ -41,18 +46,26 @@ Result<bool> Evaluator::Satisfies(const FormulaPtr& sentence) {
 
 namespace {
 
-/// Every constant mentioned by the formula must be interpreted by the
+/// Every constant mentioned by a formula must be interpreted by the
 /// database — constants interned into the vocabulary *after* the database
-/// was built (e.g. by parsing a later query) have no assigned value.
+/// was built (e.g. by parsing a later query) have no assigned value. One
+/// helper serves both the per-call formula walk (`SatisfiesWith`) and the
+/// cached constant list of the batched path, so their errors stay
+/// identical.
+Status CheckConstantInterpreted(const PhysicalDatabase& db, ConstId c) {
+  if (!db.HasConstantValue(c)) {
+    return Status::FailedPrecondition(
+        "constant '" + db.vocab().ConstantName(c) +
+        "' has no interpretation in this database (was it added after "
+        "the database was built?)");
+  }
+  return Status::OK();
+}
+
 Status CheckConstantsInterpreted(const PhysicalDatabase& db,
                                  const FormulaPtr& f) {
   for (ConstId c : ConstantsOf(f)) {
-    if (!db.HasConstantValue(c)) {
-      return Status::FailedPrecondition(
-          "constant '" + db.vocab().ConstantName(c) +
-          "' has no interpretation in this database (was it added after "
-          "the database was built?)");
-    }
+    LQDB_RETURN_IF_ERROR(CheckConstantInterpreted(db, c));
   }
   return Status::OK();
 }
@@ -83,6 +96,32 @@ Result<bool> Evaluator::SatisfiesWith(const FormulaPtr& f,
     env_[v] = kUnbound;
   }
   return result;
+}
+
+Status Evaluator::SatisfiesBatch(const BoundQuery& bound, const Value* values,
+                                 size_t count, std::vector<char>* out) {
+  LQDB_RETURN_IF_ERROR(db_->Validate());
+  for (ConstId c : bound.constants()) {
+    LQDB_RETURN_IF_ERROR(CheckConstantInterpreted(*db_, c));
+  }
+  for (PredId pred : bound.so_predicates()) {
+    LQDB_RETURN_IF_ERROR(CheckSoPredFeasible(pred));
+  }
+  EnsureEnvCapacity();
+  const std::vector<VarId>& head = bound.head();
+  for (VarId v : head) {
+    if (v >= env_.size()) env_.resize(v + 1, kUnbound);
+  }
+  const size_t arity = head.size();
+  const Formula* body = bound.query().body().get();
+  out->resize(count);
+  for (size_t k = 0; k < count; ++k) {
+    const Value* row = values + k * arity;
+    for (size_t i = 0; i < arity; ++i) env_[head[i]] = row[i];
+    (*out)[k] = Eval(body) ? 1 : 0;
+  }
+  for (VarId v : head) env_[v] = kUnbound;
+  return Status::OK();
 }
 
 Result<Relation> Evaluator::Answer(const Query& query) {

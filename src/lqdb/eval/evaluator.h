@@ -4,6 +4,7 @@
 #include <map>
 #include <vector>
 
+#include "lqdb/eval/bound_query.h"
 #include "lqdb/logic/formula.h"
 #include "lqdb/logic/query.h"
 #include "lqdb/relational/database.h"
@@ -58,6 +59,16 @@ class Evaluator {
   Result<bool> SatisfiesWith(const FormulaPtr& f,
                              const std::map<VarId, Value>& binding);
 
+  /// Batched `SatisfiesWith` against the current database state: the
+  /// per-call validation (database, interpreted constants, second-order
+  /// feasibility) runs once, then the body of `bound` is evaluated under
+  /// each row of `values` — a flat `count × bound.arity()` buffer assigning
+  /// `values[k * arity + i]` to head variable `i` of row `k`. On success
+  /// `(*out)[k]` is the verdict for row `k`; `out` is resized to `count`
+  /// and can be reused across calls to keep hot loops allocation-free.
+  Status SatisfiesBatch(const BoundQuery& bound, const Value* values,
+                        size_t count, std::vector<char>* out);
+
   /// The answer `Q(PB)`: all assignments of the head variables (drawn from
   /// the domain) that satisfy the body. For a Boolean query the result has
   /// arity 0 and contains the empty tuple iff the sentence is true.
@@ -67,6 +78,7 @@ class Evaluator {
   static constexpr Value kUnbound = UINT32_MAX;
 
   Status CheckSoFeasible(const FormulaPtr& f) const;
+  Status CheckSoPredFeasible(PredId pred) const;
   void EnsureEnvCapacity();
   bool Eval(const Formula* f);
   bool EvalSoQuantifier(const Formula* f);

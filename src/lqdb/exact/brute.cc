@@ -10,34 +10,54 @@
 
 namespace lqdb {
 
+uint64_t SaturatingPower(uint64_t base, uint64_t exp) {
+  uint64_t result = 1;
+  for (uint64_t i = 0; i < exp; ++i) {
+    if (base != 0 && result > UINT64_MAX / base) return UINT64_MAX;
+    result *= base;
+  }
+  return result;
+}
+
+namespace {
+
+/// The shared |C|^|C| feasibility gate of `Contains` and `Answer`, in
+/// overflow-checked integer arithmetic.
+Status CheckBruteBudget(const CwDatabase& lb, uint64_t max_mappings) {
+  const uint64_t n = lb.num_constants();
+  if (SaturatingPower(n, n) > max_mappings) {
+    return Status::ResourceExhausted(
+        "|C|^|C| exceeds max_mappings; use ExactEvaluator");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 Result<bool> BruteForceEvaluator::Contains(const Query& query,
                                            const Tuple& candidate) {
   LQDB_RETURN_IF_ERROR(lb_->Validate());
   if (candidate.size() != query.arity()) {
     return Status::InvalidArgument("candidate arity does not match query");
   }
-  const double n = static_cast<double>(lb_->num_constants());
-  if (std::pow(n, n) > static_cast<double>(options_.max_mappings)) {
-    return Status::ResourceExhausted(
-        "|C|^|C| exceeds max_mappings; use ExactEvaluator");
-  }
+  LQDB_RETURN_IF_ERROR(CheckBruteBudget(*lb_, options_.max_mappings));
+  LQDB_ASSIGN_OR_RETURN(BoundQuery bound, BoundQuery::Bind(query));
 
   bool contained = true;
   Status error = Status::OK();
+  const std::vector<Tuple> candidates = {candidate};
+  CandidateBatch batch;
   PhysicalDatabase image(&lb_->vocab());
   Evaluator eval(&image, options_.eval);
   last_mappings_ = ForEachMapping(*lb_, [&](const ConstMapping& h) {
     ApplyMappingInto(*lb_, h, &image);
-    std::map<VarId, Value> binding;
-    for (size_t i = 0; i < candidate.size(); ++i) {
-      binding[query.head()[i]] = h[candidate[i]];
-    }
-    Result<bool> sat = eval.SatisfiesWith(query.body(), binding);
-    if (!sat.ok()) {
-      error = sat.status();
+    Status s = EvalCandidatesUnderMapping(&eval, bound, h, candidates,
+                                          nullptr, 1, &batch);
+    if (!s.ok()) {
+      error = s;
       return false;
     }
-    if (!sat.value()) {
+    if (!batch.verdicts[0]) {
       contained = false;
       return false;
     }
@@ -49,37 +69,34 @@ Result<bool> BruteForceEvaluator::Contains(const Query& query,
 
 Result<Relation> BruteForceEvaluator::Answer(const Query& query) {
   LQDB_RETURN_IF_ERROR(lb_->Validate());
+  LQDB_RETURN_IF_ERROR(CheckBruteBudget(*lb_, options_.max_mappings));
+  LQDB_ASSIGN_OR_RETURN(BoundQuery bound, BoundQuery::Bind(query));
   const size_t arity = query.arity();
   const ConstId n = static_cast<ConstId>(lb_->num_constants());
-  const double total = std::pow(static_cast<double>(n),
-                                static_cast<double>(n));
-  if (total > static_cast<double>(options_.max_mappings)) {
-    return Status::ResourceExhausted(
-        "|C|^|C| exceeds max_mappings; use ExactEvaluator");
-  }
 
   // Single pass over the mappings, pruning the candidate set — mirrors
   // ExactEvaluator::Answer so the two are directly comparable (bench E7).
   std::vector<Tuple> alive = AllCandidateTuples(arity, n);
 
   Status error = Status::OK();
+  CandidateBatch batch;
   PhysicalDatabase image(&lb_->vocab());
   Evaluator eval(&image, options_.eval);
   last_mappings_ = ForEachMapping(*lb_, [&](const ConstMapping& h) {
     ApplyMappingInto(*lb_, h, &image);
-    std::vector<Tuple> survivors;
-    survivors.reserve(alive.size());
-    for (const Tuple& c : alive) {
-      std::map<VarId, Value> binding;
-      for (size_t i = 0; i < arity; ++i) binding[query.head()[i]] = h[c[i]];
-      Result<bool> sat = eval.SatisfiesWith(query.body(), binding);
-      if (!sat.ok()) {
-        error = sat.status();
-        return false;
-      }
-      if (sat.value()) survivors.push_back(c);
+    Status s = EvalCandidatesUnderMapping(&eval, bound, h, alive, nullptr,
+                                          alive.size(), &batch);
+    if (!s.ok()) {
+      error = s;
+      return false;
     }
-    alive = std::move(survivors);
+    size_t kept = 0;
+    for (size_t k = 0; k < alive.size(); ++k) {
+      if (!batch.verdicts[k]) continue;
+      if (kept != k) alive[kept] = std::move(alive[k]);
+      ++kept;
+    }
+    alive.resize(kept);
     return !alive.empty();
   });
   if (!error.ok()) return error;

@@ -17,6 +17,13 @@ struct BruteOptions {
   EvalOptions eval;
 };
 
+/// `base^exp` in integer arithmetic, saturating at `UINT64_MAX` on
+/// overflow. The brute-force engine sizes its |C|^|C| enumeration with
+/// this instead of `std::pow`, whose double result has only 53 bits of
+/// mantissa and misclassifies budgets near the threshold for large |C|.
+/// `SaturatingPower(0, 0) == 1`, matching the one (empty) mapping.
+uint64_t SaturatingPower(uint64_t base, uint64_t exp);
+
 /// Literal Theorem 1 evaluation: quantifies over *all* mappings `h : C → C`
 /// respecting the uniqueness axioms, with no partition canonicalization.
 /// Exponentially redundant; exists to cross-validate `ExactEvaluator`

@@ -1,7 +1,5 @@
 #include "lqdb/exact/exact.h"
 
-#include <map>
-
 namespace lqdb {
 
 Status ValidateExactCandidate(const CwDatabase& lb, const Query& query,
@@ -18,6 +16,10 @@ Status ValidateExactCandidate(const CwDatabase& lb, const Query& query,
 }
 
 std::vector<Tuple> AllCandidateTuples(size_t arity, ConstId n) {
+  // A positive arity over an empty constant set has no tuples; without this
+  // guard the odometer below would emit bogus rows that index past the end
+  // of every mapping `h`.
+  if (n == 0 && arity > 0) return {};
   std::vector<Tuple> out;
   Tuple t(arity, 0);
   while (true) {
@@ -32,17 +34,36 @@ std::vector<Tuple> AllCandidateTuples(size_t arity, ConstId n) {
   return out;
 }
 
+Status EvalCandidatesUnderMapping(Evaluator* eval, const BoundQuery& bound,
+                                  const ConstMapping& h,
+                                  const std::vector<Tuple>& candidates,
+                                  const uint32_t* subset, size_t count,
+                                  CandidateBatch* batch) {
+  const size_t arity = bound.arity();
+  batch->values.resize(count * arity);
+  for (size_t k = 0; k < count; ++k) {
+    const Tuple& c = candidates[subset == nullptr ? k : subset[k]];
+    Value* row = batch->values.data() + k * arity;
+    for (size_t i = 0; i < arity; ++i) row[i] = h[c[i]];
+  }
+  return eval->SatisfiesBatch(bound, batch->values.data(), count,
+                              &batch->verdicts);
+}
+
 Result<bool> ExactEvaluator::Contains(
     const Query& query, const Tuple& candidate,
     std::optional<Counterexample>* counterexample) {
   LQDB_RETURN_IF_ERROR(lb_->Validate());
   LQDB_RETURN_IF_ERROR(ValidateExactCandidate(*lb_, query, candidate));
   if (counterexample != nullptr) counterexample->reset();
+  LQDB_ASSIGN_OR_RETURN(BoundQuery bound, BoundQuery::Bind(query));
 
   bool contained = true;
   Status error = Status::OK();
   uint64_t examined = 0;
 
+  const std::vector<Tuple> candidates = {candidate};
+  CandidateBatch batch;
   PhysicalDatabase image(&lb_->vocab());
   Evaluator eval(&image, options_.eval);
   ForEachCanonicalMapping(*lb_, [&](const ConstMapping& h) {
@@ -52,16 +73,13 @@ Result<bool> ExactEvaluator::Contains(
       return false;
     }
     ApplyMappingInto(*lb_, h, &image);
-    std::map<VarId, Value> binding;
-    for (size_t i = 0; i < candidate.size(); ++i) {
-      binding[query.head()[i]] = h[candidate[i]];
-    }
-    Result<bool> sat = eval.SatisfiesWith(query.body(), binding);
-    if (!sat.ok()) {
-      error = sat.status();
+    Status s = EvalCandidatesUnderMapping(&eval, bound, h, candidates,
+                                          nullptr, 1, &batch);
+    if (!s.ok()) {
+      error = s;
       return false;
     }
-    if (!sat.value()) {
+    if (!batch.verdicts[0]) {
       contained = false;
       if (counterexample != nullptr) *counterexample = Counterexample{h};
       return false;  // first counterexample settles membership
@@ -79,11 +97,14 @@ Result<bool> ExactEvaluator::IsPossible(
   LQDB_RETURN_IF_ERROR(lb_->Validate());
   LQDB_RETURN_IF_ERROR(ValidateExactCandidate(*lb_, query, candidate));
   if (witness != nullptr) witness->reset();
+  LQDB_ASSIGN_OR_RETURN(BoundQuery bound, BoundQuery::Bind(query));
 
   bool possible = false;
   Status error = Status::OK();
   uint64_t examined = 0;
 
+  const std::vector<Tuple> candidates = {candidate};
+  CandidateBatch batch;
   PhysicalDatabase image(&lb_->vocab());
   Evaluator eval(&image, options_.eval);
   ForEachCanonicalMapping(*lb_, [&](const ConstMapping& h) {
@@ -93,16 +114,13 @@ Result<bool> ExactEvaluator::IsPossible(
       return false;
     }
     ApplyMappingInto(*lb_, h, &image);
-    std::map<VarId, Value> binding;
-    for (size_t i = 0; i < candidate.size(); ++i) {
-      binding[query.head()[i]] = h[candidate[i]];
-    }
-    Result<bool> sat = eval.SatisfiesWith(query.body(), binding);
-    if (!sat.ok()) {
-      error = sat.status();
+    Status s = EvalCandidatesUnderMapping(&eval, bound, h, candidates,
+                                          nullptr, 1, &batch);
+    if (!s.ok()) {
+      error = s;
       return false;
     }
-    if (sat.value()) {
+    if (batch.verdicts[0]) {
       possible = true;
       if (witness != nullptr) *witness = Counterexample{h};
       return false;  // first satisfying model settles possibility
@@ -116,6 +134,7 @@ Result<bool> ExactEvaluator::IsPossible(
 
 Result<Relation> ExactEvaluator::PossibleAnswer(const Query& query) {
   LQDB_RETURN_IF_ERROR(lb_->Validate());
+  LQDB_ASSIGN_OR_RETURN(BoundQuery bound, BoundQuery::Bind(query));
 
   const size_t arity = query.arity();
   const ConstId n = static_cast<ConstId>(lb_->num_constants());
@@ -127,6 +146,7 @@ Result<Relation> ExactEvaluator::PossibleAnswer(const Query& query) {
   Relation answer(static_cast<int>(arity));
   Status error = Status::OK();
   uint64_t examined = 0;
+  CandidateBatch batch;
   PhysicalDatabase image(&lb_->vocab());
   Evaluator eval(&image, options_.eval);
   ForEachCanonicalMapping(*lb_, [&](const ConstMapping& h) {
@@ -136,23 +156,22 @@ Result<Relation> ExactEvaluator::PossibleAnswer(const Query& query) {
       return false;
     }
     ApplyMappingInto(*lb_, h, &image);
-    std::vector<Tuple> still_pending;
-    still_pending.reserve(pending.size());
-    for (Tuple& c : pending) {
-      std::map<VarId, Value> binding;
-      for (size_t i = 0; i < arity; ++i) binding[query.head()[i]] = h[c[i]];
-      Result<bool> sat = eval.SatisfiesWith(query.body(), binding);
-      if (!sat.ok()) {
-        error = sat.status();
-        return false;
-      }
-      if (sat.value()) {
-        answer.Insert(std::move(c));
+    Status s = EvalCandidatesUnderMapping(&eval, bound, h, pending, nullptr,
+                                          pending.size(), &batch);
+    if (!s.ok()) {
+      error = s;
+      return false;
+    }
+    size_t kept = 0;
+    for (size_t k = 0; k < pending.size(); ++k) {
+      if (batch.verdicts[k]) {
+        answer.Insert(std::move(pending[k]));
       } else {
-        still_pending.push_back(std::move(c));
+        if (kept != k) pending[kept] = std::move(pending[k]);
+        ++kept;
       }
     }
-    pending = std::move(still_pending);
+    pending.resize(kept);
     return !pending.empty();  // nothing left to prove possible
   });
   last_mappings_ = examined;
@@ -162,6 +181,7 @@ Result<Relation> ExactEvaluator::PossibleAnswer(const Query& query) {
 
 Result<Relation> ExactEvaluator::Answer(const Query& query) {
   LQDB_RETURN_IF_ERROR(lb_->Validate());
+  LQDB_ASSIGN_OR_RETURN(BoundQuery bound, BoundQuery::Bind(query));
 
   const size_t arity = query.arity();
   const ConstId n = static_cast<ConstId>(lb_->num_constants());
@@ -171,6 +191,7 @@ Result<Relation> ExactEvaluator::Answer(const Query& query) {
 
   Status error = Status::OK();
   uint64_t examined = 0;
+  CandidateBatch batch;
   PhysicalDatabase image(&lb_->vocab());
   Evaluator eval(&image, options_.eval);
   ForEachCanonicalMapping(*lb_, [&](const ConstMapping& h) {
@@ -180,19 +201,19 @@ Result<Relation> ExactEvaluator::Answer(const Query& query) {
       return false;
     }
     ApplyMappingInto(*lb_, h, &image);
-    std::vector<Tuple> survivors;
-    survivors.reserve(alive.size());
-    for (const Tuple& c : alive) {
-      std::map<VarId, Value> binding;
-      for (size_t i = 0; i < arity; ++i) binding[query.head()[i]] = h[c[i]];
-      Result<bool> sat = eval.SatisfiesWith(query.body(), binding);
-      if (!sat.ok()) {
-        error = sat.status();
-        return false;
-      }
-      if (sat.value()) survivors.push_back(c);
+    Status s = EvalCandidatesUnderMapping(&eval, bound, h, alive, nullptr,
+                                          alive.size(), &batch);
+    if (!s.ok()) {
+      error = s;
+      return false;
     }
-    alive = std::move(survivors);
+    size_t kept = 0;
+    for (size_t k = 0; k < alive.size(); ++k) {
+      if (!batch.verdicts[k]) continue;
+      if (kept != k) alive[kept] = std::move(alive[k]);
+      ++kept;
+    }
+    alive.resize(kept);
     return !alive.empty();  // nothing left to disprove
   });
   last_mappings_ = examined;

@@ -6,6 +6,7 @@
 
 #include "lqdb/cwdb/cw_database.h"
 #include "lqdb/cwdb/mapping.h"
+#include "lqdb/eval/bound_query.h"
 #include "lqdb/eval/evaluator.h"
 #include "lqdb/logic/query.h"
 #include "lqdb/relational/relation.h"
@@ -31,7 +32,33 @@ Status ValidateExactCandidate(const CwDatabase& lb, const Query& query,
 /// All tuples over the constants `[0, n)` of the given arity, in odometer
 /// order — the candidate space the Theorem 1 engines prune (one shared
 /// definition so sequential and parallel answers enumerate identically).
+/// Arity 0 yields the single empty tuple (the Boolean candidate); a
+/// positive arity over zero constants yields the empty space.
 std::vector<Tuple> AllCandidateTuples(size_t arity, ConstId n);
+
+/// Scratch buffers for the batched per-image candidate sweep shared by the
+/// Theorem 1 engines — reused across mappings so the hot loop stays
+/// allocation-free once the buffers reach steady size.
+struct CandidateBatch {
+  std::vector<Value> values;   // flat count × arity binding rows
+  std::vector<char> verdicts;  // per-candidate truth under one image
+};
+
+/// Evaluates a candidate set against one image database in a single batched
+/// call: row `k` binds head variable `i` of `bound` to `h[c[i]]` where `c`
+/// is the k-th swept candidate. With `subset == nullptr` the sweep covers
+/// `candidates[0 .. count)`; otherwise it covers
+/// `candidates[subset[0 .. count)]` (the open-candidate snapshot of the
+/// parallel engine). On success `batch->verdicts[k]` is the verdict for the
+/// k-th swept candidate. `eval` must be bound to the image database of `h`.
+/// This is the one per-mapping inner loop shared by the sequential, brute
+/// and parallel engines, so their answers stay bit-identical by
+/// construction.
+Status EvalCandidatesUnderMapping(Evaluator* eval, const BoundQuery& bound,
+                                  const ConstMapping& h,
+                                  const std::vector<Tuple>& candidates,
+                                  const uint32_t* subset, size_t count,
+                                  CandidateBatch* batch);
 
 /// A witness that a tuple is *not* in `Q(LB)`: a mapping `h` respecting the
 /// uniqueness axioms with `h(c) ∉ Q(h(Ph₁(LB)))` — i.e. a model of `T`

@@ -2,40 +2,66 @@
 
 #include <algorithm>
 #include <atomic>
-#include <map>
+#include <condition_variable>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 #include "lqdb/eval/evaluator.h"
 
 namespace lqdb {
 
-/// Shared coordination state for one fan-out: the range queue cursor, the
-/// cooperative stop flag, the global mapping budget, and the first error.
+namespace {
+
+/// Per-worker evaluation state: one evaluator bound to the worker's scratch
+/// image database, plus the batch buffers reused for every mapping the
+/// worker examines.
+struct WorkerScratch {
+  Evaluator* eval;
+  CandidateBatch batch;
+  std::vector<uint32_t> open;  // per-mapping snapshot of open candidates
+};
+
+}  // namespace
+
+/// Shared coordination state for one fan-out: the work-stealing range
+/// queue, the cooperative stop flag, the global mapping budget, and the
+/// first error.
+///
+/// Scheduling: the queue is seeded by `SplitCanonicalMappingSpace`; a
+/// worker takes the largest remaining range (shallowest RGS prefix — it
+/// covers the most partitions), walks at most `steal_chunk` mappings of it
+/// with `ForEachCanonicalMappingChunk`, and pushes the unvisited remainder
+/// back for idle workers. Idle workers block on the queue's condition
+/// variable; the fan-out ends when the queue is empty with no worker
+/// mid-chunk, or when the stop flag rises.
 class ParallelExactEvaluator::Walk {
  public:
   Walk(const CwDatabase* lb, const ParallelExactOptions& options,
        ThreadPool* pool)
       : lb_(lb), options_(options), pool_(pool) {
-    ranges_ = SplitCanonicalMappingSpace(
+    queue_ = SplitCanonicalMappingSpace(
         *lb, static_cast<size_t>(pool->num_threads()) *
                  static_cast<size_t>(std::max(1, options.ranges_per_thread)));
+    worker_ranges_.assign(pool->num_threads(), 0);
   }
 
-  /// Runs `per_mapping(h, eval)` over every canonical mapping, fanned
+  /// Runs `per_mapping(h, scratch)` over every canonical mapping, fanned
   /// across the pool; `per_mapping` returns false to abort the whole walk
   /// (it should call `Stop()` or `RecordError()` first so other workers
   /// stand down). Blocks until all workers finish.
   template <typename PerMapping>
   void Run(const PerMapping& per_mapping) {
-    const int workers = pool_->num_threads();
-    for (int w = 0; w < workers; ++w) {
-      pool_->Submit([this, &per_mapping] { Worker(per_mapping); });
-    }
-    pool_->Wait();
+    pool_->FanOut([this, &per_mapping](int w) { Worker(w, per_mapping); });
   }
 
-  void Stop() { stop_.store(true, std::memory_order_relaxed); }
+  void Stop() {
+    stop_.store(true, std::memory_order_relaxed);
+    // Empty critical section: a waiter either sees the flag before
+    // sleeping or is woken by the notify below (no lost wakeup).
+    { std::lock_guard<std::mutex> lock(queue_mu_); }
+    queue_cv_.notify_all();
+  }
   bool stopped() const { return stop_.load(std::memory_order_relaxed); }
 
   void RecordError(Status error) {
@@ -51,21 +77,46 @@ class ParallelExactEvaluator::Walk {
   uint64_t examined() const {
     return examined_.load(std::memory_order_relaxed);
   }
+  const std::vector<uint64_t>& worker_ranges() const {
+    return worker_ranges_;
+  }
 
   std::mutex& mu() { return mu_; }
 
  private:
   template <typename PerMapping>
-  void Worker(const PerMapping& per_mapping) {
-    // Per-worker scratch: one image database and one evaluator, reused for
-    // every mapping this worker examines.
+  void Worker(int index, const PerMapping& per_mapping) {
+    // Per-worker scratch: one image database, one evaluator and one batch
+    // buffer set, reused for every mapping this worker examines.
     PhysicalDatabase image(&lb_->vocab());
     Evaluator eval(&image, options_.base.eval);
-    while (!stopped()) {
-      const size_t r = next_range_.fetch_add(1, std::memory_order_relaxed);
-      if (r >= ranges_.size()) break;
-      ForEachCanonicalMappingInRange(
-          *lb_, ranges_[r], [&](const ConstMapping& h) {
+    WorkerScratch scratch{&eval, {}, {}};
+    std::vector<MappingRange> remainder;
+    const uint64_t chunk = std::max<uint64_t>(1, options_.steal_chunk);
+
+    std::unique_lock<std::mutex> lock(queue_mu_);
+    while (true) {
+      queue_cv_.wait(lock, [this] {
+        return stopped() || !queue_.empty() || walking_ == 0;
+      });
+      if (stopped() || queue_.empty()) break;  // done or nothing left
+
+      // Steal the largest remaining range: the shallowest RGS prefix
+      // covers the most partitions, so the fattest work moves first.
+      size_t best = 0;
+      for (size_t i = 1; i < queue_.size(); ++i) {
+        if (queue_[i].rgs.size() < queue_[best].rgs.size()) best = i;
+      }
+      MappingRange range = std::move(queue_[best]);
+      queue_[best] = std::move(queue_.back());
+      queue_.pop_back();
+      ++walking_;
+      lock.unlock();
+
+      remainder.clear();
+      ForEachCanonicalMappingChunk(
+          *lb_, range, chunk,
+          [&](const ConstMapping& h) {
             if (stopped()) return false;
             const uint64_t seen =
                 examined_.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -76,16 +127,31 @@ class ParallelExactEvaluator::Walk {
               return false;
             }
             ApplyMappingInto(*lb_, h, &image);
-            return per_mapping(h, &eval);
-          });
+            return per_mapping(h, &scratch);
+          },
+          &remainder);
+      ++worker_ranges_[index];
+
+      lock.lock();
+      --walking_;
+      if (stopped()) break;
+      if (!remainder.empty()) {
+        for (MappingRange& r : remainder) queue_.push_back(std::move(r));
+        queue_cv_.notify_all();
+      } else if (queue_.empty() && walking_ == 0) {
+        queue_cv_.notify_all();  // wake idlers so they can exit
+      }
     }
   }
 
   const CwDatabase* lb_;
   const ParallelExactOptions& options_;
   ThreadPool* pool_;
-  std::vector<MappingRange> ranges_;
-  std::atomic<size_t> next_range_{0};
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::vector<MappingRange> queue_;
+  size_t walking_ = 0;  // workers currently mid-chunk (guarded by queue_mu_)
+  std::vector<uint64_t> worker_ranges_;
   std::atomic<bool> stop_{false};
   std::atomic<uint64_t> examined_{0};
   std::mutex mu_;
@@ -109,6 +175,7 @@ Result<bool> ParallelExactEvaluator::ContainsImpl(
   LQDB_RETURN_IF_ERROR(lb_->Validate());
   LQDB_RETURN_IF_ERROR(ValidateExactCandidate(*lb_, query, candidate));
   if (witness != nullptr) witness->reset();
+  LQDB_ASSIGN_OR_RETURN(BoundQuery bound, BoundQuery::Bind(query));
 
   // Certain membership falls as soon as one mapping falsifies; possible
   // membership rises as soon as one mapping satisfies. Both are a parallel
@@ -116,18 +183,16 @@ Result<bool> ParallelExactEvaluator::ContainsImpl(
   std::atomic<bool> decided{false};
   ConstMapping decisive_h;
 
+  const std::vector<Tuple> candidates = {candidate};
   Walk walk(lb_, options_, pool_.get());
-  walk.Run([&](const ConstMapping& h, Evaluator* eval) {
-    std::map<VarId, Value> binding;
-    for (size_t i = 0; i < candidate.size(); ++i) {
-      binding[query.head()[i]] = h[candidate[i]];
-    }
-    Result<bool> sat = eval->SatisfiesWith(query.body(), binding);
-    if (!sat.ok()) {
-      walk.RecordError(sat.status());
+  walk.Run([&](const ConstMapping& h, WorkerScratch* scratch) {
+    Status s = EvalCandidatesUnderMapping(scratch->eval, bound, h, candidates,
+                                          nullptr, 1, &scratch->batch);
+    if (!s.ok()) {
+      walk.RecordError(std::move(s));
       return false;
     }
-    if (sat.value() == possible_mode) {
+    if ((scratch->batch.verdicts[0] != 0) == possible_mode) {
       // Decisive mapping: a falsifier (certain mode) or a witness
       // (possible mode) settles the question for every worker.
       std::lock_guard<std::mutex> lock(walk.mu());
@@ -141,11 +206,18 @@ Result<bool> ParallelExactEvaluator::ContainsImpl(
     return true;
   });
   last_mappings_ = walk.examined();
-  if (!walk.error().ok()) return walk.error();
-  if (decided.load() && witness != nullptr) {
-    *witness = Counterexample{decisive_h};
+  last_worker_ranges_ = walk.worker_ranges();
+  // A recorded decision wins over a concurrent budget error: once some
+  // worker found the decisive mapping, the verdict is final, even if
+  // another worker drove the shared examined_ counter past max_mappings
+  // before standing down — otherwise the error/answer outcome near the
+  // budget edge would vary run to run.
+  if (decided.load()) {
+    if (witness != nullptr) *witness = Counterexample{decisive_h};
+    return possible_mode;
   }
-  return possible_mode ? decided.load() : !decided.load();
+  if (!walk.error().ok()) return walk.error();
+  return !possible_mode;
 }
 
 Result<bool> ParallelExactEvaluator::Contains(
@@ -164,6 +236,7 @@ Result<bool> ParallelExactEvaluator::IsPossible(
 Result<Relation> ParallelExactEvaluator::AnswerImpl(const Query& query,
                                                     bool possible_mode) {
   LQDB_RETURN_IF_ERROR(lb_->Validate());
+  LQDB_ASSIGN_OR_RETURN(BoundQuery bound, BoundQuery::Bind(query));
 
   const size_t arity = query.arity();
   const ConstId n = static_cast<ConstId>(lb_->num_constants());
@@ -182,25 +255,34 @@ Result<Relation> ParallelExactEvaluator::AnswerImpl(const Query& query,
     open[i].store(1, std::memory_order_relaxed);
   }
   std::atomic<size_t> remaining{candidates.size()};
+  std::atomic<bool> all_decided{candidates.size() == 0};
 
   Walk walk(lb_, options_, pool_.get());
-  walk.Run([&](const ConstMapping& h, Evaluator* eval) {
-    std::map<VarId, Value> binding;
-    for (size_t i = 0; i < candidates.size(); ++i) {
-      if (open[i].load(std::memory_order_relaxed) == 0) continue;
-      for (size_t j = 0; j < arity; ++j) {
-        binding[query.head()[j]] = h[candidates[i][j]];
+  walk.Run([&](const ConstMapping& h, WorkerScratch* scratch) {
+    // Snapshot the open candidates and sweep them against this image in
+    // one batched call — the same shared path the sequential engines take.
+    scratch->open.clear();
+    for (uint32_t i = 0; i < candidates.size(); ++i) {
+      if (open[i].load(std::memory_order_relaxed) != 0) {
+        scratch->open.push_back(i);
       }
-      Result<bool> sat = eval->SatisfiesWith(query.body(), binding);
-      if (!sat.ok()) {
-        walk.RecordError(sat.status());
-        return false;
-      }
-      // This mapping decides candidate i when it falsifies (certain mode)
+    }
+    if (scratch->open.empty()) return true;  // raced with the last decision
+    Status s = EvalCandidatesUnderMapping(
+        scratch->eval, bound, h, candidates, scratch->open.data(),
+        scratch->open.size(), &scratch->batch);
+    if (!s.ok()) {
+      walk.RecordError(std::move(s));
+      return false;
+    }
+    for (size_t k = 0; k < scratch->open.size(); ++k) {
+      // This mapping decides a candidate when it falsifies (certain mode)
       // or satisfies (possible mode).
-      if (sat.value() != possible_mode) continue;
+      if ((scratch->batch.verdicts[k] != 0) != possible_mode) continue;
+      const uint32_t i = scratch->open[k];
       if (open[i].exchange(0, std::memory_order_relaxed) == 1) {
         if (remaining.fetch_sub(1, std::memory_order_relaxed) == 1) {
+          all_decided.store(true, std::memory_order_relaxed);
           walk.Stop();  // every candidate decided — nothing left to learn
           return false;
         }
@@ -209,7 +291,11 @@ Result<Relation> ParallelExactEvaluator::AnswerImpl(const Query& query,
     return true;
   });
   last_mappings_ = walk.examined();
-  if (!walk.error().ok()) return walk.error();
+  last_worker_ranges_ = walk.worker_ranges();
+  // As in ContainsImpl: a fully decided candidate set is a final,
+  // order-independent answer, so it wins over a budget error raised by a
+  // worker that was still mid-chunk when the last candidate fell.
+  if (!walk.error().ok() && !all_decided.load()) return walk.error();
 
   // Certain answer = never falsified (still open); possible answer =
   // witnessed at least once (closed).

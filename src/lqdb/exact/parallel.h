@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "lqdb/cwdb/cw_database.h"
 #include "lqdb/cwdb/mapping.h"
@@ -17,21 +18,39 @@ namespace lqdb {
 
 struct ParallelExactOptions {
   /// Limits and evaluator options shared with the sequential engine.
-  /// `base.max_mappings` is accounted *globally* across all workers.
+  /// `base.max_mappings` is accounted *globally* across all workers; an
+  /// answer that was fully decided within the budget is returned even when
+  /// workers still mid-chunk nudged the shared counter past the limit
+  /// before standing down (the decision is final and order-independent, so
+  /// it wins over the concurrent budget error).
   ExactOptions base;
   /// Worker threads; 0 means `ThreadPool::DefaultThreads()`.
   int threads = 0;
-  /// The kernel-partition space is split into about
-  /// `threads * ranges_per_thread` independent ranges so stragglers can
-  /// steal work; higher values smooth load at slightly more split cost.
+  /// The kernel-partition space is pre-split into about
+  /// `threads * ranges_per_thread` independent ranges to seed the
+  /// work-stealing queue; higher values smooth startup at slightly more
+  /// split cost.
   int ranges_per_thread = 8;
+  /// Work-stealing granularity: a worker walks at most this many mappings
+  /// of a range before donating the unvisited remainder back to the shared
+  /// queue, so an arbitrarily skewed range can never serialize more than
+  /// `steal_chunk` mappings on one worker. Values < 1 are clamped to 1.
+  uint64_t steal_chunk = 64;
 };
 
 /// The Theorem 1 exact engine with the canonical-mapping enumeration fanned
 /// out across a thread pool. `SplitCanonicalMappingSpace` partitions the
 /// kernel-partition space by restricted-growth-string prefix into
-/// independent ranges; workers pull ranges from a shared queue, each with
-/// its own scratch image database, and publish verdicts through atomic
+/// independent ranges seeding a shared work-stealing queue; workers
+/// repeatedly take the *largest* remaining range (the shallowest RGS
+/// prefix), walk at most `steal_chunk` mappings of it via
+/// `ForEachCanonicalMappingChunk`, and donate the unvisited remainder back
+/// to the queue for idle workers to steal — so a skewed partition space
+/// (one giant kernel class hiding under a single prefix) spreads across
+/// the pool instead of serializing on whoever drew the fat range. Each
+/// worker keeps its own scratch image database and batch buffers, sweeps
+/// the open candidate set against each image in one batched
+/// `Evaluator::SatisfiesBatch` call, and publishes verdicts through atomic
 /// per-candidate flags.
 ///
 /// Early exit is cooperative: the first counterexample (for `Contains`),
@@ -71,6 +90,13 @@ class ParallelExactEvaluator {
   /// Mappings examined by the most recent call, summed across workers.
   uint64_t last_mappings_examined() const { return last_mappings_; }
 
+  /// Ranges (work-stealing chunks) retired per worker by the most recent
+  /// call, indexed by worker; sums over the whole fan-out. Under early exit
+  /// some workers may legitimately retire zero.
+  const std::vector<uint64_t>& last_worker_ranges() const {
+    return last_worker_ranges_;
+  }
+
   /// The number of worker threads actually running.
   int threads() const { return pool_->num_threads(); }
 
@@ -86,6 +112,7 @@ class ParallelExactEvaluator {
   ParallelExactOptions options_;
   std::unique_ptr<ThreadPool> pool_;
   uint64_t last_mappings_ = 0;
+  std::vector<uint64_t> last_worker_ranges_;
 };
 
 }  // namespace lqdb

@@ -35,6 +35,14 @@ void ThreadPool::Wait() {
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
+void ThreadPool::FanOut(const std::function<void(int)>& fn) {
+  const int n = num_threads();
+  for (int w = 0; w < n; ++w) {
+    Submit([&fn, w] { fn(w); });
+  }
+  Wait();
+}
+
 int ThreadPool::DefaultThreads() {
   unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);

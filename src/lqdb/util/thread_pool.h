@@ -34,6 +34,13 @@ class ThreadPool {
   /// Blocks until every task submitted so far has completed.
   void Wait();
 
+  /// Submits `fn(worker_index)` once per worker and blocks until every
+  /// instance (and any previously submitted task) finishes — the
+  /// fan-out/join step of data-parallel callers such as the parallel exact
+  /// engine's range scheduler. The callback receives a dense index in
+  /// `[0, num_threads())`; instances may land on any worker.
+  void FanOut(const std::function<void(int)>& fn);
+
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
   /// `std::thread::hardware_concurrency()` with a floor of 1 (the standard

@@ -273,6 +273,40 @@ TEST(DifferentialTest, ParallelExactAgreesOnAllInstances) {
   EXPECT_EQ(instances, 268u);
 }
 
+/// The work-stealing dimension: the skewed profile hangs the whole
+/// canonical-mapping mass under one giant kernel-class subtree (the known
+/// constants pin a single RGS prefix chain), the adversarial shape for the
+/// parallel engine's scheduler. With deliberately tiny steal chunks — lots
+/// of remainder donation — the parallel answers must still be bit-identical
+/// to the sequential engine's on every instance.
+TEST(DifferentialTest, SkewedProfileParallelAgreesOnAllInstances) {
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    DifferentialInstance instance =
+        MakeInstance(seed, InstanceProfile::kSkewed);
+    SCOPED_TRACE(Describe(instance));
+
+    ExactEvaluator exact(instance.db.get());
+    ASSERT_OK_AND_ASSIGN(Relation exact_answer, exact.Answer(instance.query));
+    ASSERT_OK_AND_ASSIGN(Relation exact_possible,
+                         exact.PossibleAnswer(instance.query));
+
+    ParallelExactOptions options;
+    options.threads = 8;
+    options.steal_chunk = 8;
+    ParallelExactEvaluator parallel(instance.db.get(), options);
+    ASSERT_OK_AND_ASSIGN(Relation parallel_answer,
+                         parallel.Answer(instance.query));
+    EXPECT_EQ(parallel_answer, exact_answer)
+        << AnswerDiff(*instance.db, "parallel", parallel_answer, "exact",
+                      exact_answer);
+    ASSERT_OK_AND_ASSIGN(Relation parallel_possible,
+                         parallel.PossibleAnswer(instance.query));
+    EXPECT_EQ(parallel_possible, exact_possible)
+        << AnswerDiff(*instance.db, "parallel", parallel_possible, "exact",
+                      exact_possible);
+  }
+}
+
 /// First-principles cross-check on tiny instances: membership according to
 /// `ExactEvaluator` must match `ModelEnumerationContains`, which decides
 /// `T ⊨_f φ(c)` straight from the §2.1 definition by enumerating every

@@ -50,6 +50,17 @@ RandomDbParams DbParamsFor(InstanceProfile profile) {
       p.num_binary_preds = 1;
       p.num_facts = 6;
       break;
+    case InstanceProfile::kSkewed:
+      // Knowns first (RandomCwDatabase interns them before the unknowns)
+      // pin the RGS prefix; five trailing unknowns hang hundreds of
+      // partitions under that single chain.
+      p.num_known = 3;
+      p.num_unknown = 5;
+      p.num_unary_preds = 1;
+      p.num_binary_preds = 1;
+      p.num_facts = 6;
+      p.explicit_distinct_p = 0.1;
+      break;
   }
   return p;
 }
@@ -75,6 +86,10 @@ RandomFormulaParams FormulaParamsFor(InstanceProfile profile) {
       p.free_vars = {"hx"};
       p.allow_negation = false;
       break;
+    case InstanceProfile::kSkewed:
+      p.max_depth = 3;
+      p.free_vars = {"hx"};
+      break;
   }
   return p;
 }
@@ -93,6 +108,8 @@ const char* ProfileName(InstanceProfile profile) {
       return "fully_specified";
     case InstanceProfile::kPositive:
       return "positive";
+    case InstanceProfile::kSkewed:
+      return "skewed";
   }
   return "unknown";
 }

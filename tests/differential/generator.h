@@ -29,6 +29,12 @@ enum class InstanceProfile {
   /// Negation-free query over a database with unknowns: the approximation
   /// must be complete, not merely sound (Theorem 13).
   kPositive,
+  /// A skewed canonical-mapping space: the known constants come first, so
+  /// their forced pairwise-distinct blocks pin a single RGS prefix chain
+  /// and the entire Bell mass of the trailing unknowns hangs under one
+  /// giant kernel-class subtree — the adversarial shape for static range
+  /// partitioning, exercising the parallel engine's work stealing.
+  kSkewed,
 };
 
 const char* ProfileName(InstanceProfile profile);

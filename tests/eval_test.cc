@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "lqdb/eval/answer.h"
+#include "lqdb/eval/bound_query.h"
 #include "lqdb/eval/evaluator.h"
 #include "lqdb/logic/builder.h"
 #include "lqdb/logic/nnf.h"
@@ -219,6 +220,66 @@ TEST(NnfSemanticsTest, NnfPreservesTruthOnRandomWorlds) {
     ASSERT_OK_AND_ASSIGN(bool via_nnf, eval.Satisfies(nnf));
     EXPECT_EQ(direct, via_nnf) << "seed " << seed;
   }
+}
+
+TEST_F(EvalTest, BoundQueryCachesBodyAnalysis) {
+  ASSERT_OK_AND_ASSIGN(Query q,
+                       ParseQuery(&vocab_, "(x) . TEACHES(x, Plato)"));
+  ASSERT_OK_AND_ASSIGN(BoundQuery bound, BoundQuery::Bind(q));
+  EXPECT_EQ(bound.arity(), 1u);
+  EXPECT_EQ(bound.constants(), std::vector<ConstId>{plato_});
+  EXPECT_TRUE(bound.so_predicates().empty());
+}
+
+TEST_F(EvalTest, SatisfiesBatchMatchesPerCandidateSatisfiesWith) {
+  ASSERT_OK_AND_ASSIGN(
+      Query q, ParseQuery(&vocab_, "(x, y) . TEACHES(x, y) | x = y"));
+  ASSERT_OK_AND_ASSIGN(BoundQuery bound, BoundQuery::Bind(q));
+  Evaluator eval(db_.get());
+
+  // Every pair over the domain, as one flat batch and per-candidate.
+  const std::vector<Value> domain = {socrates_, plato_};
+  std::vector<Value> rows;
+  for (Value x : domain) {
+    for (Value y : domain) {
+      rows.push_back(x);
+      rows.push_back(y);
+    }
+  }
+  std::vector<char> verdicts;
+  ASSERT_OK(eval.SatisfiesBatch(bound, rows.data(), 4, &verdicts));
+  ASSERT_EQ(verdicts.size(), 4u);
+  for (size_t k = 0; k < 4; ++k) {
+    std::map<VarId, Value> binding;
+    binding[q.head()[0]] = rows[2 * k];
+    binding[q.head()[1]] = rows[2 * k + 1];
+    ASSERT_OK_AND_ASSIGN(bool expected, eval.SatisfiesWith(q.body(), binding));
+    EXPECT_EQ(verdicts[k] != 0, expected) << "row " << k;
+  }
+}
+
+TEST_F(EvalTest, SatisfiesBatchHandlesBooleanQueries) {
+  ASSERT_OK_AND_ASSIGN(Query q,
+                       ParseQuery(&vocab_, "exists x. TEACHES(Socrates, x)"));
+  ASSERT_OK_AND_ASSIGN(BoundQuery bound, BoundQuery::Bind(q));
+  Evaluator eval(db_.get());
+  std::vector<char> verdicts;
+  ASSERT_OK(eval.SatisfiesBatch(bound, nullptr, 1, &verdicts));
+  ASSERT_EQ(verdicts.size(), 1u);
+  EXPECT_TRUE(verdicts[0] != 0);
+}
+
+TEST_F(EvalTest, SatisfiesBatchRejectsUninterpretedConstants) {
+  // Aristotle is interned after the database assigned constant values, so
+  // the cached-constants check must fail exactly like SatisfiesWith does.
+  ASSERT_OK_AND_ASSIGN(Query q,
+                       ParseQuery(&vocab_, "(x) . TEACHES(x, Aristotle)"));
+  ASSERT_OK_AND_ASSIGN(BoundQuery bound, BoundQuery::Bind(q));
+  Evaluator eval(db_.get());
+  std::vector<char> verdicts;
+  Value row[] = {socrates_};
+  Status s = eval.SatisfiesBatch(bound, row, 1, &verdicts);
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition) << s.ToString();
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include "lqdb/eval/evaluator.h"
 #include "lqdb/exact/brute.h"
 #include "lqdb/exact/exact.h"
+#include "lqdb/exact/parallel.h"
 #include "lqdb/logic/parser.h"
 #include "lqdb/logic/printer.h"
 #include "testing.h"
@@ -379,6 +380,101 @@ TEST(ExactEdgeCaseTest, DomainClosureIsCertain) {
                        ParseQuery(vocab, "forall x. x = A | x = U"));
   ASSERT_OK_AND_ASSIGN(bool yes, exact.Contains(q, {}));
   EXPECT_TRUE(yes);
+}
+
+TEST(CandidateSpaceTest, ZeroConstantsYieldEmptySpaceForPositiveArity) {
+  // Regression: the odometer used to emit rows over an empty constant set,
+  // and the per-mapping sweep then indexed past the end of `h`.
+  EXPECT_TRUE(AllCandidateTuples(1, 0).empty());
+  EXPECT_TRUE(AllCandidateTuples(3, 0).empty());
+  // Boolean queries keep their single empty-tuple candidate.
+  EXPECT_EQ(AllCandidateTuples(0, 0), std::vector<Tuple>{Tuple{}});
+  EXPECT_EQ(AllCandidateTuples(0, 4), std::vector<Tuple>{Tuple{}});
+  // The nonempty odometer is unchanged.
+  EXPECT_EQ(AllCandidateTuples(2, 3).size(), 9u);
+}
+
+TEST(CandidateSpaceTest, ConstantFreeDatabaseFailsCleanlyOnAllEngines) {
+  // A schema with no constants cannot model anything (domains are
+  // nonempty); every Theorem 1 engine must surface that as a clean
+  // FailedPrecondition from Answer, PossibleAnswer and Contains instead of
+  // reading out of bounds.
+  CwDatabase lb;
+  ASSERT_OK(lb.AddPredicate("P", 1).status());
+  Vocabulary* vocab = lb.mutable_vocab();
+  ASSERT_OK_AND_ASSIGN(Query q, ParseQuery(vocab, "(x) . P(x)"));
+  ASSERT_OK_AND_ASSIGN(Query boolean, ParseQuery(vocab, "true"));
+
+  ExactEvaluator exact(&lb);
+  EXPECT_EQ(exact.Answer(q).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(exact.PossibleAnswer(q).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(exact.Contains(boolean, {}).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(exact.IsPossible(boolean, {}).status().code(),
+            StatusCode::kFailedPrecondition);
+
+  BruteForceEvaluator brute(&lb);
+  EXPECT_EQ(brute.Answer(q).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(brute.Contains(boolean, {}).status().code(),
+            StatusCode::kFailedPrecondition);
+
+  ParallelExactOptions options;
+  options.threads = 2;
+  ParallelExactEvaluator parallel(&lb, options);
+  EXPECT_EQ(parallel.Answer(q).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(parallel.PossibleAnswer(q).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(parallel.Contains(boolean, {}).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(SaturatingPowerTest, ComputesExactIntegerPowers) {
+  EXPECT_EQ(SaturatingPower(0, 0), 1u);   // the one empty mapping
+  EXPECT_EQ(SaturatingPower(0, 3), 0u);
+  EXPECT_EQ(SaturatingPower(7, 0), 1u);
+  EXPECT_EQ(SaturatingPower(3, 4), 81u);
+  // 15^15 is not representable in a double's 53-bit mantissa — the exact
+  // integer is what the brute-force budget gate must compare against.
+  EXPECT_EQ(SaturatingPower(15, 15), 437893890380859375ull);
+  EXPECT_EQ(SaturatingPower(2, 63), 1ull << 63);
+}
+
+TEST(SaturatingPowerTest, SaturatesInsteadOfOverflowing) {
+  EXPECT_EQ(SaturatingPower(2, 64), UINT64_MAX);
+  EXPECT_EQ(SaturatingPower(1000000, 20), UINT64_MAX);
+  EXPECT_EQ(SaturatingPower(UINT64_MAX, 2), UINT64_MAX);
+}
+
+TEST(SaturatingPowerTest, BruteBudgetGateIsExactAtTheThreshold) {
+  // 3 constants → exactly 27 mappings. A budget of 27 must pass and 26
+  // must trip, for Contains and Answer alike — the gate the double-based
+  // std::pow check got wrong near the threshold.
+  CwDatabase lb;
+  for (int i = 0; i < 3; ++i) {
+    lb.AddUnknownConstant("U" + std::to_string(i));
+  }
+  PredId p = lb.AddPredicate("P", 1).value();
+  ASSERT_OK(lb.AddFact(p, {0}));
+  Vocabulary* vocab = lb.mutable_vocab();
+  ASSERT_OK_AND_ASSIGN(Query q, ParseQuery(vocab, "(x) . P(x)"));
+
+  BruteOptions exact_budget;
+  exact_budget.max_mappings = 27;
+  BruteForceEvaluator roomy(&lb, exact_budget);
+  EXPECT_OK(roomy.Answer(q).status());
+  EXPECT_OK(roomy.Contains(q, {0}).status());
+
+  BruteOptions tight_budget;
+  tight_budget.max_mappings = 26;
+  BruteForceEvaluator tight(&lb, tight_budget);
+  EXPECT_EQ(tight.Answer(q).status().code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(tight.Contains(q, {0}).status().code(),
+            StatusCode::kResourceExhausted);
 }
 
 }  // namespace

@@ -152,6 +152,77 @@ TEST(MappingEnumeratorTest, SplitIsDeterministic) {
   for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].rgs, b[i].rgs);
 }
 
+TEST(MappingEnumeratorTest, ChunkedWalkCoversSpaceForAnyBudget) {
+  // Repeatedly walking a work-list of ranges with a tiny budget and pushing
+  // the donated remainders back must reconstruct the full space exactly
+  // once — the invariant the parallel engine's work-stealing queue rests
+  // on, for every budget and every database shape.
+  for (int n = 1; n <= 6; ++n) {
+    for (int unknown : {n / 2, n}) {
+      for (uint64_t seed : {uint64_t{0}, uint64_t{7}}) {
+        auto lb = MakeDb(n - unknown, unknown, seed);
+        SCOPED_TRACE("n=" + std::to_string(n) +
+                     " unknown=" + std::to_string(unknown) +
+                     " seed=" + std::to_string(seed));
+        uint64_t sequential_count = 0;
+        const std::set<ConstMapping> sequential =
+            CollectSequential(*lb, &sequential_count);
+        for (uint64_t budget : {uint64_t{1}, uint64_t{2}, uint64_t{3},
+                                uint64_t{7}, uint64_t{1000}}) {
+          std::vector<MappingRange> work = {MappingRange{}};
+          std::set<ConstMapping> visited;
+          uint64_t total = 0;
+          while (!work.empty()) {
+            MappingRange range = std::move(work.back());
+            work.pop_back();
+            std::vector<MappingRange> remainder;
+            total += ForEachCanonicalMappingChunk(
+                *lb, range, budget,
+                [&](const ConstMapping& h) {
+                  EXPECT_TRUE(visited.insert(h).second)
+                      << "chunked walk repeated a representative (budget="
+                      << budget << ")";
+                  return true;
+                },
+                &remainder);
+            for (MappingRange& r : remainder) work.push_back(std::move(r));
+          }
+          EXPECT_EQ(total, sequential_count) << "budget=" << budget;
+          EXPECT_EQ(visited, sequential) << "budget=" << budget;
+        }
+      }
+    }
+  }
+}
+
+TEST(MappingEnumeratorTest, ChunkBudgetBoundsTheVisitCount) {
+  auto lb = MakeDb(0, 5, /*seed=*/0);  // 52 partitions
+  std::vector<MappingRange> remainder;
+  uint64_t visited = ForEachCanonicalMappingChunk(
+      *lb, MappingRange{}, /*budget=*/10,
+      [](const ConstMapping&) { return true; }, &remainder);
+  EXPECT_EQ(visited, 10u);
+  ASSERT_FALSE(remainder.empty());
+  // The donated remainder covers exactly the other 42.
+  uint64_t rest = 0;
+  for (const MappingRange& range : remainder) {
+    rest += ForEachCanonicalMappingInRange(
+        *lb, range, [](const ConstMapping&) { return true; });
+  }
+  EXPECT_EQ(rest, 42u);
+}
+
+TEST(MappingEnumeratorTest, ChunkVisitorStopDiscardsRemainder) {
+  // An early exit abandons the whole enumeration: nothing may be donated.
+  auto lb = MakeDb(0, 4, /*seed=*/0);
+  std::vector<MappingRange> remainder;
+  uint64_t visited = ForEachCanonicalMappingChunk(
+      *lb, MappingRange{}, /*budget=*/0,
+      [](const ConstMapping&) { return false; }, &remainder);
+  EXPECT_EQ(visited, 1u);
+  EXPECT_TRUE(remainder.empty());
+}
+
 TEST(MappingEnumeratorTest, ApplyMappingIntoMatchesApplyMapping) {
   // Scratch reuse must produce byte-identical image databases even when
   // the scratch previously held a *different* mapping's image (stale

@@ -194,6 +194,60 @@ TEST(ParallelExactTest, ZeroThreadsMeansHardwareConcurrency) {
   EXPECT_GE(parallel.threads(), 1);
 }
 
+TEST(ParallelExactTest, WorkStealingSpreadsASkewedSpaceAcrossAllWorkers) {
+  // Three known constants pin a single RGS prefix chain (their blocks are
+  // forced pairwise-distinct), so the entire ~60k-partition Bell mass of
+  // the seven unknowns hangs under one giant kernel-class subtree — the
+  // shape that starved a fixed-range scheduler. A tautological query keeps
+  // every candidate alive, so there is no early exit: the full space must
+  // be walked, and chunk donation must hand every worker work.
+  auto lb = std::make_unique<CwDatabase>();
+  for (int i = 0; i < 3; ++i) {
+    lb->AddKnownConstant("K" + std::to_string(i));
+  }
+  for (int i = 0; i < 7; ++i) {
+    lb->AddUnknownConstant("U" + std::to_string(i));
+  }
+  auto query = ParseQuery(lb->mutable_vocab(), "(x) . x = x");
+  ASSERT_TRUE(query.ok()) << query.status();
+
+  ExactEvaluator sequential(lb.get());
+  auto expected = sequential.Answer(query.value());
+  ASSERT_TRUE(expected.ok()) << expected.status();
+  EXPECT_EQ(expected.value().size(), 10u);
+
+  ParallelExactOptions options = WithThreads(8);
+  options.steal_chunk = 16;
+  ParallelExactEvaluator parallel(lb.get(), options);
+
+  // Every attempt must compute the exact answer over the exact mapping
+  // count; whether all 8 workers retire a range additionally depends on the
+  // OS giving each thread a timeslice while the queue is nonempty, so an
+  // oversubscribed CPU gets a few attempts before it counts as a
+  // scheduler bug.
+  bool balanced = false;
+  for (int attempt = 0; attempt < 10 && !balanced; ++attempt) {
+    auto answer = parallel.Answer(query.value());
+    ASSERT_TRUE(answer.ok()) << answer.status();
+    EXPECT_EQ(answer.value(), expected.value());
+    EXPECT_EQ(parallel.last_mappings_examined(),
+              sequential.last_mappings_examined());
+
+    const std::vector<uint64_t>& per_worker = parallel.last_worker_ranges();
+    ASSERT_EQ(per_worker.size(), 8u);
+    uint64_t total_ranges = 0;
+    balanced = true;
+    for (uint64_t retired : per_worker) {
+      if (retired == 0) balanced = false;
+      total_ranges += retired;
+    }
+    // The sweep is far larger than one chunk, so stealing must have split
+    // it into many donated ranges regardless of thread scheduling.
+    EXPECT_GT(total_ranges, 8u);
+  }
+  EXPECT_TRUE(balanced) << "some worker never retired a range in 10 sweeps";
+}
+
 TEST(ParallelExactTest, FullSweepCountsMatchSequential) {
   // A positive query with a nonempty answer never early-exits, so the
   // parallel engine must examine *exactly* the canonical-mapping count.

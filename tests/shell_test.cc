@@ -151,6 +151,31 @@ set flux_capacitor 11
   EXPECT_NE(out.find("parallel-exact"), std::string::npos) << out;
 }
 
+TEST(ShellTest, SetRejectsTrailingGarbage) {
+  // std::stoi prefix parsing used to accept "4x" as 4; strict parsing must
+  // reject any trailing garbage and leave the previous settings intact.
+  std::string out = RunShellScript(R"(set threads 4x
+set max_mappings 10q
+set threads 1e3
+set max_mappings 0x10
+set threads 2
+set max_mappings 50
+engines
+)");
+  size_t pos = 0;
+  int errors = 0;
+  while ((pos = out.find("error:", pos)) != std::string::npos) {
+    ++errors;
+    ++pos;
+  }
+  EXPECT_EQ(errors, 4) << out;
+  // The clean values after the garbage ones still apply.
+  EXPECT_NE(out.find("threads = 2"), std::string::npos) << out;
+  EXPECT_NE(out.find("max_mappings = 50"), std::string::npos) << out;
+  EXPECT_NE(out.find("threads: 2   max_mappings: 50"), std::string::npos)
+      << out;
+}
+
 TEST(ShellTest, ParallelExactAgreesInTheShell) {
   // The same Theorem 1 query through 1, 2 and 4 threads — answers must be
   // identical (the shell upgrades `exact` to parallel-exact when threads

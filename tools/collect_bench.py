@@ -8,6 +8,12 @@ Workflow (wired through bench_common.h):
     for b in build/bench_e*; do LQDB_BENCH_JSON_DIR=bench-json "$b"; done
     tools/collect_bench.py --dir bench-json --pr 3        # -> BENCH_3.json
 
+Pass --diff BENCH_<old>.json to also print a per-benchmark speedup table
+(old real_time / new real_time) against an earlier snapshot, so a PR's
+perf claim is one command:
+
+    tools/collect_bench.py --dir bench-json --pr 5 --diff BENCH_3.json
+
 Each bench binary writes `<binary>.json` into $LQDB_BENCH_JSON_DIR (the
 standard --benchmark_out format). This script merges them, keyed by binary
 name, keeping one shared context block (host, CPU, build flags) so the
@@ -36,6 +42,9 @@ def main() -> int:
                         help="PR number; writes BENCH_<pr>.json")
     parser.add_argument("--out", default=None,
                         help="explicit output path (overrides --pr)")
+    parser.add_argument("--diff", default=None, metavar="BASELINE",
+                        help="earlier BENCH_<pr>.json to diff against; "
+                             "prints a per-benchmark speedup table")
     args = parser.parse_args()
 
     if args.out is None and args.pr is None:
@@ -67,7 +76,57 @@ def main() -> int:
     total = sum(len(v) for v in merged["suites"].values())
     print(f"wrote {out_path}: {len(merged['suites'])} suites, "
           f"{total} benchmark entries")
+
+    if args.diff is not None:
+        print_diff(pathlib.Path(args.diff), merged)
     return 0
+
+
+def print_diff(baseline_path: pathlib.Path, merged: dict) -> None:
+    """Prints old-vs-new real_time per benchmark shared with the baseline."""
+    try:
+        baseline = json.loads(baseline_path.read_text())
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"cannot diff against {baseline_path}: {err}", file=sys.stderr)
+        return
+
+    def times(snapshot: dict) -> dict:
+        out = {}
+        for suite, entries in snapshot.get("suites", {}).items():
+            for entry in entries:
+                name = entry.get("name")
+                real = entry.get("real_time")
+                if name is None or real is None:
+                    continue
+                out[(suite, name)] = (real, entry.get("time_unit", "ns"))
+        return out
+
+    old = times(baseline)
+    new = times(merged)
+    shared = sorted(set(old) & set(new))
+    if not shared:
+        print(f"no shared benchmarks with {baseline_path}", file=sys.stderr)
+        return
+
+    rows = [("suite", "benchmark", "old", "new", "speedup")]
+    for key in shared:
+        old_t, old_unit = old[key]
+        new_t, new_unit = new[key]
+        speedup = old_t / new_t if new_t > 0 and old_unit == new_unit else None
+        rows.append((key[0], key[1],
+                     f"{old_t:.3f} {old_unit}", f"{new_t:.3f} {new_unit}",
+                     f"{speedup:.2f}x" if speedup is not None else "n/a"))
+    widths = [max(len(row[col]) for row in rows) for col in range(5)]
+    print(f"\nspeedup vs {baseline_path} (old/new real_time; >1 is faster):")
+    for row in rows:
+        print("  " + "  ".join(cell.ljust(width)
+                               for cell, width in zip(row, widths)).rstrip())
+    only_old = sorted(set(old) - set(new))
+    only_new = sorted(set(new) - set(old))
+    if only_old:
+        print(f"  [{len(only_old)} baseline-only benchmarks not shown]")
+    if only_new:
+        print(f"  [{len(only_new)} new benchmarks without a baseline]")
 
 
 if __name__ == "__main__":

@@ -14,12 +14,12 @@
 // Run `help` inside the shell for the command list. A script path may be
 // passed as argv[1]; with `--batch` the shell exits at end of input
 // instead of switching to stdin.
+#include <climits>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
-#include <stdexcept>
 #include <string>
 
 #include "lqdb/approx/approx.h"
@@ -37,6 +37,23 @@
 
 namespace lqdb {
 namespace {
+
+/// Strict nonnegative-decimal parse for `set` arguments: every character
+/// must be a digit, so "4x" is rejected instead of silently parsing as 4
+/// the way std::stoi's prefix parsing would. Returns false on an empty
+/// token, a non-digit, or uint64 overflow.
+bool ParseStrictUint(const std::string& token, unsigned long long* out) {
+  if (token.empty()) return false;
+  unsigned long long value = 0;
+  for (char ch : token) {
+    if (ch < '0' || ch > '9') return false;
+    const unsigned digit = static_cast<unsigned>(ch - '0');
+    if (value > (ULLONG_MAX - digit) / 10) return false;
+    value = value * 10 + digit;
+  }
+  *out = value;
+  return true;
+}
 
 constexpr const char* kHelp = R"(commands:
   load FILE              load a database (lqdb text format)
@@ -179,27 +196,17 @@ class Shell {
       engine_name_ = value;
       std::printf("engine = %s\n", engine_name_.c_str());
     } else if (key == "threads") {
-      int threads = -1;
-      try {
-        threads = std::stoi(value);
-      } catch (...) {
-      }
-      if (threads < 0) {
+      unsigned long long threads = 0;
+      if (!ParseStrictUint(value, &threads) || threads > INT_MAX) {
         Report(Status::InvalidArgument(
             "set threads expects a nonnegative integer (0 = hardware)"));
         return;
       }
-      options_.threads = threads;
+      options_.threads = static_cast<int>(threads);
       std::printf("threads = %d\n", options_.threads);
     } else if (key == "max_mappings") {
       unsigned long long max = 0;
-      try {
-        // stoull would accept a leading '-' by wrapping; reject it first.
-        if (value.empty() || value[0] == '-') throw std::invalid_argument("");
-        max = std::stoull(value);
-      } catch (...) {
-      }
-      if (max == 0) {
+      if (!ParseStrictUint(value, &max) || max == 0) {
         Report(Status::InvalidArgument(
             "set max_mappings expects a positive integer"));
         return;
