@@ -15,6 +15,7 @@
 
 #include "bench_common.h"
 #include "lqdb/cwdb/mapping.h"
+#include "lqdb/engine/engine.h"
 #include "lqdb/exact/brute.h"
 #include "lqdb/exact/exact.h"
 #include "lqdb/exact/parallel.h"
@@ -100,6 +101,33 @@ void BM_PerCandidateBaseline(benchmark::State& state) {
 }
 BENCHMARK(BM_PerCandidateBaseline)->DenseRange(4, 7, 1)
     ->Unit(benchmark::kMillisecond);
+
+// The per-image inner loop head-to-head: the batched evaluator ("exact")
+// vs the compiled relational-algebra plan ("ra-exact") on identical
+// enumeration work. The two rows differ only in their registry name, so
+// `tools/collect_bench.py` pairs "…/ra-exact/N" with "…/exact/N" within
+// one snapshot and prints the speedup column.
+void InnerLoopEngine(benchmark::State& state, const char* engine_name) {
+  auto lb = MakeDb(static_cast<int>(state.range(0)));
+  Query q = MustParse(lb.get(), kQuery);
+  auto engine = EngineRegistry::Global().Create(engine_name, lb.get()).value();
+  for (auto _ : state) {
+    auto answer = engine->Answer(q);
+    benchmark::DoNotOptimize(answer);
+  }
+  state.counters["mappings"] =
+      static_cast<double>(engine->last_mappings_examined());
+}
+void BM_InnerLoopExact(benchmark::State& state) {
+  InnerLoopEngine(state, "exact");
+}
+void BM_InnerLoopRaExact(benchmark::State& state) {
+  InnerLoopEngine(state, "ra-exact");
+}
+BENCHMARK(BM_InnerLoopExact)->Name("BM_InnerLoop/exact")
+    ->DenseRange(4, 7, 1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_InnerLoopRaExact)->Name("BM_InnerLoop/ra-exact")
+    ->DenseRange(4, 7, 1)->Unit(benchmark::kMillisecond);
 
 void BM_AllFunctions(benchmark::State& state) {
   auto lb = MakeDb(static_cast<int>(state.range(0)));

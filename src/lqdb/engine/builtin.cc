@@ -6,6 +6,7 @@
 #include "lqdb/cwdb/ph.h"
 #include "lqdb/engine/engine.h"
 #include "lqdb/eval/evaluator.h"
+#include "lqdb/exact/ra_exact.h"
 
 namespace lqdb {
 namespace {
@@ -91,6 +92,29 @@ class ParallelExactEngine : public EngineBase {
 
  private:
   ParallelExactEvaluator impl_;
+};
+
+class RaExactEngine : public EngineBase {
+ public:
+  RaExactEngine(std::string name, EngineCapabilities caps,
+                const CwDatabase* lb, const ExactOptions& options)
+      : EngineBase(std::move(name), caps), impl_(lb, options) {}
+
+  Result<Relation> Answer(const Query& query) override {
+    return impl_.Answer(query);
+  }
+  Result<bool> Contains(const Query& query, const Tuple& candidate) override {
+    return impl_.Contains(query, candidate);
+  }
+  Result<Relation> PossibleAnswer(const Query& query) override {
+    return impl_.PossibleAnswer(query);
+  }
+  uint64_t last_mappings_examined() const override {
+    return impl_.last_mappings_examined();
+  }
+
+ private:
+  RaExactEvaluator impl_;
 };
 
 class ApproxQueryEngine : public EngineBase {
@@ -187,6 +211,13 @@ void RegisterBuiltinEngines(EngineRegistry* registry) {
           parallel.threads = options.threads;
           return std::unique_ptr<QueryEngine>(new ParallelExactEngine(
               "parallel-exact", caps, lb, parallel));
+        });
+    must_register(
+        "ra-exact", caps,
+        [caps](CwDatabase* lb, const EngineOptions& options)
+            -> Result<std::unique_ptr<QueryEngine>> {
+          return std::unique_ptr<QueryEngine>(
+              new RaExactEngine("ra-exact", caps, lb, options.exact));
         });
   }
   {

@@ -86,8 +86,8 @@ using EngineFactory = std::function<Result<std::unique_ptr<QueryEngine>>(
     CwDatabase* lb, const EngineOptions& options)>;
 
 /// A string-keyed registry of engine factories. The builtin engines
-/// ("brute", "exact", "parallel-exact", "approx", "physical") are
-/// registered on first access of `Global()`; libraries and tests may
+/// ("brute", "exact", "parallel-exact", "ra-exact", "approx", "physical")
+/// are registered on first access of `Global()`; libraries and tests may
 /// register more — a registered engine is automatically reachable from the
 /// shell (`set engine NAME`), the benches and the differential harness.
 class EngineRegistry {
@@ -129,6 +129,10 @@ class EngineRegistry {
 ///   - "brute"          — all mappings `h : C → C` (Theorem 1 literally)
 ///   - "exact"          — canonical kernel-partition enumeration
 ///   - "parallel-exact" — canonical enumeration fanned across threads
+///   - "ra-exact"       — canonical enumeration with the per-image check
+///                        compiled to a cached relational-algebra plan
+///                        (first-order fragment; falls back to the batched
+///                        evaluator for second-order queries)
 ///   - "approx"         — the §5 sound polynomial approximation
 ///   - "physical"       — naive evaluation over `Ph₁` (ignores nulls;
 ///                        neither sound nor complete — a baseline)

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <set>
+#include <utility>
 
 #include "lqdb/logic/formula.h"
+#include "lqdb/ra/compiler.h"
 
 namespace lqdb {
 
@@ -34,6 +36,32 @@ Result<BoundQuery> BoundQuery::Bind(const Query& query) {
   CollectSoPredicates(query.body(), &so_preds);
   bound.so_predicates_.assign(so_preds.begin(), so_preds.end());
   return bound;
+}
+
+Status BoundQuery::CompileRaPlan(const Vocabulary& vocab,
+                                 const RaCardinalities* stats) {
+  if (ra_attempted_) return ra_status_;
+  ra_attempted_ = true;
+  RaCompiler compiler(&vocab, stats == nullptr ? RaCardinalities() : *stats);
+  Result<PlanPtr> plan = compiler.Compile(*query_);
+  if (plan.ok()) {
+    ra_plan_ = std::move(plan).value();
+  } else {
+    ra_status_ = plan.status();
+  }
+  return ra_status_;
+}
+
+void BoundQuery::set_ra_plan(PlanPtr plan) {
+  ra_plan_ = std::move(plan);
+  ra_attempted_ = true;
+  ra_status_ = Status::OK();
+}
+
+void BoundQuery::set_ra_uncompilable(Status why) {
+  ra_plan_ = nullptr;
+  ra_attempted_ = true;
+  ra_status_ = std::move(why);
 }
 
 }  // namespace lqdb

@@ -4,9 +4,12 @@
 #include <vector>
 
 #include "lqdb/logic/query.h"
+#include "lqdb/ra/plan.h"
 #include "lqdb/util/result.h"
 
 namespace lqdb {
+
+struct RaCardinalities;  // ra/compiler.h
 
 /// A query pre-resolved for repeated evaluation. `Evaluator::SatisfiesWith`
 /// redoes three pieces of work on every call that depend only on the query,
@@ -41,12 +44,35 @@ class BoundQuery {
   /// feasibility walk entirely.
   const std::vector<PredId>& so_predicates() const { return so_predicates_; }
 
+  /// Compiles the query to a relational-algebra plan over `vocab` (see
+  /// `RaCompiler`), caching the outcome in the binding: later calls return
+  /// the first status without recompiling. On failure — `Unimplemented`
+  /// for second-order bodies — `ra_plan()` stays null, and callers fall
+  /// back to the batched evaluator path. `stats` (optional) drives the
+  /// compiler's join ordering.
+  Status CompileRaPlan(const Vocabulary& vocab,
+                       const RaCardinalities* stats = nullptr);
+
+  /// Seeds the plan slot from an external cache; the plan must have been
+  /// compiled from this binding's query (same query identity).
+  void set_ra_plan(PlanPtr plan);
+
+  /// Marks the query as known non-compilable without paying for a compile
+  /// (the cached-failure twin of `set_ra_plan`).
+  void set_ra_uncompilable(Status why);
+
+  /// The compiled plan; null when compilation has not run or failed.
+  const PlanPtr& ra_plan() const { return ra_plan_; }
+
  private:
   explicit BoundQuery(const Query* query) : query_(query) {}
 
   const Query* query_;
   std::vector<ConstId> constants_;
   std::vector<PredId> so_predicates_;
+  PlanPtr ra_plan_;
+  bool ra_attempted_ = false;
+  Status ra_status_;
 };
 
 }  // namespace lqdb

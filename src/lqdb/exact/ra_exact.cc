@@ -1,0 +1,220 @@
+#include "lqdb/exact/ra_exact.h"
+
+#include <string>
+#include <vector>
+
+#include "lqdb/cwdb/mapping.h"
+#include "lqdb/logic/printer.h"
+#include "lqdb/ra/compiler.h"
+#include "lqdb/ra/executor.h"
+
+namespace lqdb {
+
+namespace {
+
+/// Join-ordering statistics from the logical database: image relations are
+/// h-images of the fact sets and the image domain is `h(C)`, so the fact
+/// counts and `|C|` upper-bound (and in the canonical identity mapping,
+/// equal) the per-image cardinalities the plan will see.
+RaCardinalities StatsFor(const CwDatabase& lb) {
+  RaCardinalities stats;
+  stats.domain_size = static_cast<double>(lb.num_constants());
+  stats.relation_sizes.assign(lb.vocab().num_predicates(), 0.0);
+  for (PredId p : lb.PredicatesWithFacts()) {
+    stats.relation_sizes[p] = static_cast<double>(lb.facts(p).size());
+  }
+  return stats;
+}
+
+/// Query identity for the plan cache: head order + printed body.
+std::string CacheKey(const Vocabulary& vocab, const Query& query) {
+  std::string key = "(";
+  for (size_t i = 0; i < query.head().size(); ++i) {
+    if (i > 0) key += ", ";
+    key += vocab.VariableName(query.head()[i]);
+  }
+  key += ") . ";
+  key += PrintFormula(vocab, query.body());
+  return key;
+}
+
+}  // namespace
+
+Result<BoundQuery> RaExactEvaluator::Prepare(const Query& query) {
+  LQDB_ASSIGN_OR_RETURN(BoundQuery bound, BoundQuery::Bind(query));
+  const std::string key = CacheKey(lb_->vocab(), query);
+  auto it = plan_cache_.find(key);
+  if (it != plan_cache_.end()) {
+    if (it->second != nullptr) {
+      bound.set_ra_plan(it->second);
+    } else {
+      bound.set_ra_uncompilable(
+          Status::Unimplemented("query is cached as uncompilable"));
+    }
+    return bound;
+  }
+  const RaCardinalities stats = StatsFor(*lb_);
+  Status s = bound.CompileRaPlan(lb_->vocab(), &stats);
+  (void)s;  // a failed compile leaves ra_plan() null → fallback path
+  plan_cache_.emplace(key, bound.ra_plan());
+  return bound;
+}
+
+Result<Relation> RaExactEvaluator::Answer(const Query& query) {
+  LQDB_RETURN_IF_ERROR(lb_->Validate());
+  LQDB_ASSIGN_OR_RETURN(BoundQuery bound, Prepare(query));
+  if (bound.ra_plan() == nullptr) {
+    last_used_ra_ = false;
+    Result<Relation> out = fallback_.Answer(query);
+    last_mappings_ = fallback_.last_mappings_examined();
+    return out;
+  }
+  last_used_ra_ = true;
+  const PlanPtr& plan = bound.ra_plan();
+
+  const size_t arity = query.arity();
+  const ConstId n = static_cast<ConstId>(lb_->num_constants());
+
+  // All candidate tuples over C start alive; every mapping prunes. The
+  // compiled plan projects to the head order, so `Q(image)` membership of
+  // the mapped candidate is one hash lookup.
+  std::vector<Tuple> alive = AllCandidateTuples(arity, n);
+
+  Status error = Status::OK();
+  uint64_t examined = 0;
+  PhysicalDatabase image(&lb_->vocab());
+  RaExecutor exec(&image);
+  Tuple mapped(arity);
+  ForEachCanonicalMapping(*lb_, [&](const ConstMapping& h) {
+    if (++examined > options_.max_mappings) {
+      error = Status::ResourceExhausted(
+          "exceeded max_mappings = " + std::to_string(options_.max_mappings));
+      return false;
+    }
+    ApplyMappingInto(*lb_, h, &image);
+    Result<RaTable> table = exec.Execute(plan);
+    if (!table.ok()) {
+      error = table.status();
+      return false;
+    }
+    size_t kept = 0;
+    for (size_t k = 0; k < alive.size(); ++k) {
+      const Tuple& c = alive[k];
+      for (size_t i = 0; i < arity; ++i) mapped[i] = h[c[i]];
+      if (!table->rel.Contains(mapped)) continue;
+      if (kept != k) alive[kept] = std::move(alive[k]);
+      ++kept;
+    }
+    alive.resize(kept);
+    return !alive.empty();  // nothing left to disprove
+  });
+  last_mappings_ = examined;
+  if (!error.ok()) return error;
+
+  Relation answer(static_cast<int>(arity));
+  for (Tuple& t : alive) answer.Insert(std::move(t));
+  return answer;
+}
+
+Result<bool> RaExactEvaluator::Contains(const Query& query,
+                                        const Tuple& candidate) {
+  LQDB_RETURN_IF_ERROR(lb_->Validate());
+  LQDB_RETURN_IF_ERROR(ValidateExactCandidate(*lb_, query, candidate));
+  LQDB_ASSIGN_OR_RETURN(BoundQuery bound, Prepare(query));
+  if (bound.ra_plan() == nullptr) {
+    last_used_ra_ = false;
+    Result<bool> out = fallback_.Contains(query, candidate);
+    last_mappings_ = fallback_.last_mappings_examined();
+    return out;
+  }
+  last_used_ra_ = true;
+  const PlanPtr& plan = bound.ra_plan();
+
+  const size_t arity = query.arity();
+  bool contained = true;
+  Status error = Status::OK();
+  uint64_t examined = 0;
+  PhysicalDatabase image(&lb_->vocab());
+  RaExecutor exec(&image);
+  Tuple mapped(arity);
+  ForEachCanonicalMapping(*lb_, [&](const ConstMapping& h) {
+    if (++examined > options_.max_mappings) {
+      error = Status::ResourceExhausted(
+          "exceeded max_mappings = " + std::to_string(options_.max_mappings));
+      return false;
+    }
+    ApplyMappingInto(*lb_, h, &image);
+    Result<RaTable> table = exec.Execute(plan);
+    if (!table.ok()) {
+      error = table.status();
+      return false;
+    }
+    for (size_t i = 0; i < arity; ++i) mapped[i] = h[candidate[i]];
+    if (!table->rel.Contains(mapped)) {
+      contained = false;
+      return false;  // first counterexample settles membership
+    }
+    return true;
+  });
+  last_mappings_ = examined;
+  if (!error.ok()) return error;
+  return contained;
+}
+
+Result<Relation> RaExactEvaluator::PossibleAnswer(const Query& query) {
+  LQDB_RETURN_IF_ERROR(lb_->Validate());
+  LQDB_ASSIGN_OR_RETURN(BoundQuery bound, Prepare(query));
+  if (bound.ra_plan() == nullptr) {
+    last_used_ra_ = false;
+    Result<Relation> out = fallback_.PossibleAnswer(query);
+    last_mappings_ = fallback_.last_mappings_examined();
+    return out;
+  }
+  last_used_ra_ = true;
+  const PlanPtr& plan = bound.ra_plan();
+
+  const size_t arity = query.arity();
+  const ConstId n = static_cast<ConstId>(lb_->num_constants());
+
+  // Dual pruning to Answer: candidates start dead and every mapping may
+  // resurrect some; stop once all are alive.
+  std::vector<Tuple> pending = AllCandidateTuples(arity, n);
+
+  Relation answer(static_cast<int>(arity));
+  Status error = Status::OK();
+  uint64_t examined = 0;
+  PhysicalDatabase image(&lb_->vocab());
+  RaExecutor exec(&image);
+  Tuple mapped(arity);
+  ForEachCanonicalMapping(*lb_, [&](const ConstMapping& h) {
+    if (++examined > options_.max_mappings) {
+      error = Status::ResourceExhausted(
+          "exceeded max_mappings = " + std::to_string(options_.max_mappings));
+      return false;
+    }
+    ApplyMappingInto(*lb_, h, &image);
+    Result<RaTable> table = exec.Execute(plan);
+    if (!table.ok()) {
+      error = table.status();
+      return false;
+    }
+    size_t kept = 0;
+    for (size_t k = 0; k < pending.size(); ++k) {
+      const Tuple& c = pending[k];
+      for (size_t i = 0; i < arity; ++i) mapped[i] = h[c[i]];
+      if (table->rel.Contains(mapped)) {
+        answer.Insert(std::move(pending[k]));
+      } else {
+        if (kept != k) pending[kept] = std::move(pending[k]);
+        ++kept;
+      }
+    }
+    pending.resize(kept);
+    return !pending.empty();  // nothing left to prove possible
+  });
+  last_mappings_ = examined;
+  if (!error.ok()) return error;
+  return answer;
+}
+
+}  // namespace lqdb

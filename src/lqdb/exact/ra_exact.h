@@ -1,0 +1,77 @@
+#ifndef LQDB_EXACT_RA_EXACT_H_
+#define LQDB_EXACT_RA_EXACT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "lqdb/cwdb/cw_database.h"
+#include "lqdb/exact/exact.h"
+#include "lqdb/ra/plan.h"
+#include "lqdb/relational/relation.h"
+#include "lqdb/util/result.h"
+
+namespace lqdb {
+
+/// Exact Theorem 1 evaluation with a compiled per-image inner loop: the
+/// query body is compiled once to a relational-algebra plan (`RaCompiler`,
+/// with join ordering driven by the logical database's fact counts), and
+/// the canonical-mapping enumeration executes the cached plan against each
+/// image database via `RaExecutor` — hash joins and anti-joins instead of
+/// the tuple-at-a-time Tarskian walk. This is the §5 move of compiling the
+/// logical query onto a standard relational system, applied to the hot
+/// per-mapping satisfaction check.
+///
+/// Queries outside the compilable first-order fragment (second-order
+/// quantification) fall back to the batched `Evaluator::SatisfiesBatch`
+/// path of `ExactEvaluator`, so answers stay bit-identical to `exact` on
+/// every query the engine accepts.
+///
+/// Compiled plans are cached per evaluator, keyed by query identity (the
+/// printed head + body), so repeated calls — the shell re-running a query,
+/// Contains after Answer — reuse the compiled tree; a cached null marks a
+/// known-uncompilable query so the fallback is taken without recompiling.
+class RaExactEvaluator {
+ public:
+  explicit RaExactEvaluator(const CwDatabase* lb, ExactOptions options = {})
+      : lb_(lb), options_(options), fallback_(lb, options) {}
+
+  /// The answer `Q(LB)` — a relation over the constant symbols `C`.
+  Result<Relation> Answer(const Query& query);
+
+  /// Membership of one candidate tuple of constants.
+  Result<bool> Contains(const Query& query, const Tuple& candidate);
+
+  /// Tuples holding in at least one model of the theory (see
+  /// `ExactEvaluator::PossibleAnswer`).
+  Result<Relation> PossibleAnswer(const Query& query);
+
+  /// Mappings examined by the most recent call.
+  uint64_t last_mappings_examined() const { return last_mappings_; }
+
+  /// Whether the most recent call executed the compiled RA plan (as opposed
+  /// to taking the evaluator fallback).
+  bool last_used_ra() const { return last_used_ra_; }
+
+  /// Number of distinct queries whose compilation outcome is cached.
+  size_t plan_cache_size() const { return plan_cache_.size(); }
+
+ private:
+  /// Binds `query` and fills its RA-plan slot: from the cache on a hit,
+  /// compiling (and caching the outcome) on a miss. A null `ra_plan()` in
+  /// the returned binding means "use the fallback".
+  Result<BoundQuery> Prepare(const Query& query);
+
+  const CwDatabase* lb_;
+  ExactOptions options_;
+  ExactEvaluator fallback_;
+  uint64_t last_mappings_ = 0;
+  bool last_used_ra_ = false;
+  /// Query identity → compiled plan; null = known uncompilable.
+  std::map<std::string, PlanPtr> plan_cache_;
+};
+
+}  // namespace lqdb
+
+#endif  // LQDB_EXACT_RA_EXACT_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <set>
+#include <utility>
 
 namespace lqdb {
 
@@ -30,21 +31,13 @@ Result<PlanPtr> RaCompiler::CompileFormula(const FormulaPtr& f) {
     case FormulaKind::kOr:
       return CompileOr(f);
     case FormulaKind::kImplies:
-      // a -> b  ==  ¬a ∨ b.
-      return CompileFormula(
-          Formula::Or(Formula::Not(f->child(0)), f->child(1)));
+      return CompileImplies(f);
     case FormulaKind::kIff:
-      // a <-> b  ==  (a ∧ b) ∨ (¬a ∧ ¬b).
-      return CompileFormula(Formula::Or(
-          Formula::And(f->child(0), f->child(1)),
-          Formula::And(Formula::Not(f->child(0)),
-                       Formula::Not(f->child(1)))));
+      return CompileIff(f);
     case FormulaKind::kExists:
       return CompileExists(f);
     case FormulaKind::kForall:
-      // ∀x φ  ==  ¬∃x ¬φ.
-      return CompileFormula(Formula::Not(
-          Formula::Exists(f->var(), Formula::Not(f->child()))));
+      return CompileForall(f);
     case FormulaKind::kExistsPred:
     case FormulaKind::kForallPred:
       return Status::Unimplemented(
@@ -70,6 +63,59 @@ Result<PlanPtr> RaCompiler::CompileEquals(const FormulaPtr& f) {
   return Plan::ConstCompare(lhs.constant(), rhs.constant());
 }
 
+double RaCompiler::Estimate(const PlanPtr& plan) {
+  auto it = estimate_cache_.find(plan);
+  if (it != estimate_cache_.end()) return it->second;
+  const double domain = std::max(1.0, stats_.domain_size);
+  double est = 1.0;
+  switch (plan->kind()) {
+    case PlanKind::kScan: {
+      est = stats_.RelationSize(plan->pred());
+      // Every constant filter and repeated-variable filter keeps roughly a
+      // 1/|domain| fraction of the stored rows.
+      std::set<VarId> seen;
+      for (const Term& t : plan->scan_columns()) {
+        if (t.is_constant() || !seen.insert(t.var()).second) est /= domain;
+      }
+      break;
+    }
+    case PlanKind::kConstTuples:
+      est = static_cast<double>(plan->rows().size());
+      break;
+    case PlanKind::kConstCompare:
+      est = 0.5;  // one row or none
+      break;
+    case PlanKind::kDomainScan:
+      est = domain;
+      break;
+    case PlanKind::kEqDomain:
+      est = domain;
+      break;
+    case PlanKind::kJoin: {
+      const double l = Estimate(plan->left());
+      const double r = Estimate(plan->right());
+      std::set<VarId> lattrs(plan->left()->schema().begin(),
+                             plan->left()->schema().end());
+      est = l * r;
+      for (VarId v : plan->right()->schema()) {
+        if (lattrs.count(v) > 0) est /= domain;
+      }
+      break;
+    }
+    case PlanKind::kAntiJoin:
+      est = Estimate(plan->left());  // at most the left side survives
+      break;
+    case PlanKind::kUnion:
+      est = Estimate(plan->left()) + Estimate(plan->right());
+      break;
+    case PlanKind::kProject:
+      est = Estimate(plan->child());
+      break;
+  }
+  estimate_cache_.emplace(plan, est);
+  return est;
+}
+
 Result<PlanPtr> RaCompiler::CompileAnd(const FormulaPtr& f) {
   // Free variables of the whole conjunction: the anti-join accumulator must
   // carry all of them before negative conjuncts are applied.
@@ -85,45 +131,50 @@ Result<PlanPtr> RaCompiler::CompileAnd(const FormulaPtr& f) {
     }
   }
 
-  // Compile the positive conjuncts, then greedily order the joins: start
-  // from the plan that is cheapest to produce (fewest operator nodes as a
-  // static proxy for cardinality) and at every step prefer a join partner
-  // sharing at least one attribute with the accumulated schema, avoiding
-  // Cartesian products whenever the join graph is connected.
+  // Compile the positive conjuncts, then greedily order the joins by
+  // estimated cardinality: seed the accumulator with the smallest estimated
+  // input, and at every step join the partner that minimizes the estimated
+  // size of the joined accumulator. Partners sharing an attribute with the
+  // accumulated schema win over disconnected ones outright, so Cartesian
+  // products only appear when the join graph is disconnected.
   std::vector<PlanPtr> plans;
   plans.reserve(positives.size());
   for (const auto& p : positives) {
     LQDB_ASSIGN_OR_RETURN(PlanPtr plan, CompileFormula(p));
     plans.push_back(std::move(plan));
   }
-  std::sort(plans.begin(), plans.end(),
-            [](const PlanPtr& a, const PlanPtr& b) {
-              return a->NumNodes() < b->NumNodes();
-            });
 
+  const double domain = std::max(1.0, stats_.domain_size);
   PlanPtr acc;
+  double acc_est = 1.0;
   std::set<VarId> bound;
   std::vector<bool> used(plans.size(), false);
   for (size_t step = 0; step < plans.size(); ++step) {
     size_t pick = plans.size();
+    double pick_est = 0.0;
+    bool pick_connected = false;
     for (size_t i = 0; i < plans.size(); ++i) {
       if (used[i]) continue;
-      bool connected = false;
-      for (VarId v : plans[i]->schema()) {
-        if (bound.count(v) > 0) connected = true;
-      }
-      if (acc == nullptr || connected) {
+      size_t shared = 0;
+      for (VarId v : plans[i]->schema()) shared += bound.count(v);
+      const bool connected = shared > 0;
+      double joined = acc_est * Estimate(plans[i]);
+      for (size_t s = 0; s < shared; ++s) joined /= domain;
+      if (pick == plans.size() || (connected && !pick_connected) ||
+          (connected == pick_connected && joined < pick_est)) {
         pick = i;
-        break;
+        pick_est = joined;
+        pick_connected = connected;
       }
-      if (pick == plans.size()) pick = i;  // fall back to a product
     }
     used[pick] = true;
     for (VarId v : plans[pick]->schema()) bound.insert(v);
     if (acc == nullptr) {
       acc = plans[pick];
+      acc_est = Estimate(plans[pick]);
     } else {
       LQDB_ASSIGN_OR_RETURN(acc, Plan::Join(std::move(acc), plans[pick]));
+      acc_est = pick_est;
     }
   }
   if (acc == nullptr) {
@@ -154,26 +205,107 @@ Result<PlanPtr> RaCompiler::CompileOr(const FormulaPtr& f) {
   return acc;
 }
 
+Result<PlanPtr> RaCompiler::Complement(PlanPtr plan,
+                                       const std::set<VarId>& free) {
+  LQDB_ASSIGN_OR_RETURN(PlanPtr universe, DomainProduct(free));
+  return Plan::AntiJoin(std::move(universe), std::move(plan));
+}
+
 Result<PlanPtr> RaCompiler::CompileNot(const FormulaPtr& f) {
   const FormulaPtr& body = f->child();
   LQDB_ASSIGN_OR_RETURN(PlanPtr plan, CompileFormula(body));
-  LQDB_ASSIGN_OR_RETURN(PlanPtr universe, DomainProduct(FreeVariables(body)));
-  return Plan::AntiJoin(std::move(universe), std::move(plan));
+  return Complement(std::move(plan), FreeVariables(body));
+}
+
+Result<PlanPtr> RaCompiler::CompileImplies(const FormulaPtr& f) {
+  // a → b  ==  ¬a ∨ b over the union of both sides' free variables; each
+  // child is compiled exactly once.
+  const std::set<VarId> all_free = FreeVariables(f);
+  LQDB_ASSIGN_OR_RETURN(PlanPtr lhs, CompileFormula(f->child(0)));
+  LQDB_ASSIGN_OR_RETURN(PlanPtr not_lhs, Complement(std::move(lhs),
+                                                    FreeVariables(f->child(0))));
+  LQDB_ASSIGN_OR_RETURN(not_lhs, PadTo(std::move(not_lhs), all_free));
+  LQDB_ASSIGN_OR_RETURN(PlanPtr rhs, CompileFormula(f->child(1)));
+  LQDB_ASSIGN_OR_RETURN(rhs, PadTo(std::move(rhs), all_free));
+  return Plan::Union(std::move(not_lhs), std::move(rhs));
+}
+
+Result<PlanPtr> RaCompiler::CompileIff(const FormulaPtr& f) {
+  // a ↔ b  ==  (a ∧ b) ∨ (¬a ∧ ¬b). The formula-level rewrite this
+  // replaces compiled each child twice, making plan size exponential in
+  // nesting depth; here each child is compiled once and the compiled
+  // (immutable) plan is shared between the positive and negative branch,
+  // so the result is a DAG of size linear in the formula.
+  const std::set<VarId> all_free = FreeVariables(f);
+  const std::set<VarId> lhs_free = FreeVariables(f->child(0));
+  const std::set<VarId> rhs_free = FreeVariables(f->child(1));
+  LQDB_ASSIGN_OR_RETURN(PlanPtr lhs, CompileFormula(f->child(0)));
+  LQDB_ASSIGN_OR_RETURN(PlanPtr rhs, CompileFormula(f->child(1)));
+  LQDB_ASSIGN_OR_RETURN(PlanPtr both, Plan::Join(lhs, rhs));
+  LQDB_ASSIGN_OR_RETURN(both, PadTo(std::move(both), all_free));
+  LQDB_ASSIGN_OR_RETURN(PlanPtr not_lhs, Complement(std::move(lhs), lhs_free));
+  LQDB_ASSIGN_OR_RETURN(PlanPtr not_rhs, Complement(std::move(rhs), rhs_free));
+  LQDB_ASSIGN_OR_RETURN(
+      PlanPtr neither, Plan::Join(std::move(not_lhs), std::move(not_rhs)));
+  LQDB_ASSIGN_OR_RETURN(neither, PadTo(std::move(neither), all_free));
+  return Plan::Union(std::move(both), std::move(neither));
+}
+
+Result<PlanPtr> RaCompiler::ExistsPlan(PlanPtr plan, VarId var) {
+  std::vector<VarId> kept;
+  bool had = false;
+  for (VarId v : plan->schema()) {
+    if (v == var) {
+      had = true;
+    } else {
+      kept.push_back(v);
+    }
+  }
+  if (!had) {
+    // The bound variable is vacuous in the body, but ∃x φ still demands a
+    // witness from the domain: over an *empty* domain the quantifier is
+    // false, so φ's plan cannot be returned unchanged. Joining against a
+    // domain scan empties the result exactly when the domain is empty; the
+    // projection below drops the witness column again.
+    LQDB_ASSIGN_OR_RETURN(plan,
+                          Plan::Join(std::move(plan), Plan::DomainScan(var)));
+  }
+  return Plan::Project(std::move(plan), std::move(kept));
 }
 
 Result<PlanPtr> RaCompiler::CompileExists(const FormulaPtr& f) {
   LQDB_ASSIGN_OR_RETURN(PlanPtr plan, CompileFormula(f->child()));
-  const std::vector<VarId>& schema = plan->schema();
-  if (std::find(schema.begin(), schema.end(), f->var()) == schema.end()) {
-    // The bound variable is not free in the body: ∃x φ ≡ φ (the domain of a
-    // physical database is nonempty).
-    return plan;
+  return ExistsPlan(std::move(plan), f->var());
+}
+
+Result<PlanPtr> RaCompiler::CompileForall(const FormulaPtr& f) {
+  // ∀x φ  ==  ¬∃x ¬φ, built directly over a single compilation of φ (the
+  // formula-level rewrite this replaces re-entered the compiler on a
+  // wrapped copy of the subtree, duplicating work and plan nodes).
+  const FormulaPtr& child = f->child();
+  if (child->kind() == FormulaKind::kImplies) {
+    // Guarded universal, the common shape: ∀x (a → b) == ¬∃x (a ∧ ¬b).
+    // The violating set a ∧ ¬b is one anti-join of a against b (keyed on
+    // b's free variables), whereas complementing the compiled implication
+    // (an ¬a ∨ b union) materializes a domain-product universe over all
+    // of the body's free variables — |C|^k rows per image.
+    const std::set<VarId> body_free = FreeVariables(child);
+    LQDB_ASSIGN_OR_RETURN(PlanPtr guard, CompileFormula(child->child(0)));
+    LQDB_ASSIGN_OR_RETURN(guard, PadTo(std::move(guard), body_free));
+    LQDB_ASSIGN_OR_RETURN(PlanPtr then, CompileFormula(child->child(1)));
+    LQDB_ASSIGN_OR_RETURN(
+        PlanPtr violating, Plan::AntiJoin(std::move(guard), std::move(then)));
+    LQDB_ASSIGN_OR_RETURN(PlanPtr witness,
+                          ExistsPlan(std::move(violating), f->var()));
+    return Complement(std::move(witness), FreeVariables(f));
   }
-  std::vector<VarId> kept;
-  for (VarId v : schema) {
-    if (v != f->var()) kept.push_back(v);
-  }
-  return Plan::Project(std::move(plan), std::move(kept));
+  const std::set<VarId> body_free = FreeVariables(child);
+  LQDB_ASSIGN_OR_RETURN(PlanPtr body, CompileFormula(child));
+  LQDB_ASSIGN_OR_RETURN(PlanPtr violating,
+                        Complement(std::move(body), body_free));
+  LQDB_ASSIGN_OR_RETURN(PlanPtr witness,
+                        ExistsPlan(std::move(violating), f->var()));
+  return Complement(std::move(witness), FreeVariables(f));
 }
 
 Result<PlanPtr> RaCompiler::Unit() {

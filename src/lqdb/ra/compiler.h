@@ -1,12 +1,35 @@
 #ifndef LQDB_RA_COMPILER_H_
 #define LQDB_RA_COMPILER_H_
 
+#include <unordered_map>
+
 #include "lqdb/logic/formula.h"
 #include "lqdb/logic/query.h"
 #include "lqdb/ra/plan.h"
 #include "lqdb/util/result.h"
 
 namespace lqdb {
+
+/// Cardinality statistics that drive the greedy join ordering in
+/// `RaCompiler::CompileAnd`. The Theorem 1 engines compile once per query
+/// and execute the plan against every image database, so the statistics
+/// come from the logical database: image relations are h-images of the fact
+/// sets (size bounded by the fact count) and the image domain is `h(C)`
+/// (size bounded by `|C|`). The defaults give a neutral ordering when no
+/// database is at hand (plain `RaCompiler(&vocab)` construction).
+struct RaCardinalities {
+  /// Expected number of domain values (cost of a `DomainScan`).
+  double domain_size = 4.0;
+  /// Expected row count per predicate, indexed by `PredId`; predicates
+  /// beyond the vector fall back to `default_relation_size`.
+  std::vector<double> relation_sizes;
+  double default_relation_size = 8.0;
+
+  double RelationSize(PredId pred) const {
+    if (pred < relation_sizes.size()) return relation_sizes[pred];
+    return default_relation_size;
+  }
+};
 
 /// Compiles first-order queries into relational-algebra plans under
 /// *active-domain* semantics: quantifiers and complements range over the
@@ -15,11 +38,17 @@ namespace lqdb {
 /// domain explicit).
 ///
 /// The translation is total on first-order formulas:
-///   - conjunction → natural join, with negated conjuncts lowered to
-///     anti-joins against the accumulated positive part;
+///   - conjunction → natural join, greedily ordered by estimated
+///     cardinality, with negated conjuncts lowered to anti-joins against
+///     the accumulated positive part;
 ///   - disjunction → union, padding disjuncts with domain scans;
 ///   - ¬φ in other positions → complement against a domain product;
-///   - ∃ → projection; ∀ → ¬∃¬; → and ↔ are rewritten first.
+///   - ∃ → projection (joining a vacuous bound variable against a domain
+///     scan first, so the quantifier is false over an empty domain);
+///   - ∀ → ¬∃¬ and →/↔ → their boolean expansions, built directly over
+///     one compilation of each child, sharing the compiled `PlanPtr`
+///     between branches (plans are immutable, so the result is a DAG and
+///     plan *size* stays linear in formula size).
 ///
 /// Second-order quantifiers are rejected with `Unimplemented`.
 ///
@@ -27,7 +56,8 @@ namespace lqdb {
 /// as a set.
 class RaCompiler {
  public:
-  explicit RaCompiler(const Vocabulary* vocab) : vocab_(vocab) {}
+  explicit RaCompiler(const Vocabulary* vocab, RaCardinalities stats = {})
+      : vocab_(vocab), stats_(std::move(stats)) {}
 
   /// Compiles a full query; the plan's schema follows the head order.
   /// Head variables that do not occur in the body range over the domain.
@@ -42,6 +72,9 @@ class RaCompiler {
   Result<PlanPtr> CompileOr(const FormulaPtr& f);
   Result<PlanPtr> CompileNot(const FormulaPtr& f);
   Result<PlanPtr> CompileExists(const FormulaPtr& f);
+  Result<PlanPtr> CompileForall(const FormulaPtr& f);
+  Result<PlanPtr> CompileImplies(const FormulaPtr& f);
+  Result<PlanPtr> CompileIff(const FormulaPtr& f);
 
   /// One empty row over the empty schema (the unit of join).
   Result<PlanPtr> Unit();
@@ -50,8 +83,21 @@ class RaCompiler {
   /// Joins `plan` with domain scans for any variable of `vars` missing from
   /// its schema.
   Result<PlanPtr> PadTo(PlanPtr plan, const std::set<VarId>& vars);
+  /// The active-domain complement of `plan`, whose schema is `free`:
+  /// anti-join of the domain product over `free` against `plan`.
+  Result<PlanPtr> Complement(PlanPtr plan, const std::set<VarId>& free);
+  /// Existential quantification of `var` over a compiled body: projects the
+  /// column away; a vacuous `var` (absent from the schema) is first joined
+  /// against a domain scan so ∃ still demands a witness.
+  Result<PlanPtr> ExistsPlan(PlanPtr plan, VarId var);
+
+  /// Estimated output cardinality of `plan` under `stats_`, memoized per
+  /// node (shared DAG subplans are estimated once).
+  double Estimate(const PlanPtr& plan);
 
   const Vocabulary* vocab_;
+  RaCardinalities stats_;
+  std::unordered_map<PlanPtr, double> estimate_cache_;
 };
 
 }  // namespace lqdb

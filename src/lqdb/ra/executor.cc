@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
-#include <unordered_map>
+#include <utility>
 
 namespace lqdb {
 
@@ -36,17 +36,37 @@ Tuple KeyOf(const Tuple& t, const std::vector<size_t>& positions) {
 }  // namespace
 
 Result<RaTable> RaExecutor::Execute(const PlanPtr& plan) {
+  results_.clear();
+  LQDB_RETURN_IF_ERROR(Exec(plan).status());
+  auto it = results_.find(plan.get());
+  RaTable out = std::move(it->second);
+  results_.erase(it);
+  return out;
+}
+
+Result<const RaTable*> RaExecutor::Exec(const PlanPtr& plan) {
   if (plan == nullptr) return Status::InvalidArgument("null plan");
-  switch (plan->kind()) {
-    case PlanKind::kScan: return ExecScan(*plan);
-    case PlanKind::kConstTuples: return ExecConstTuples(*plan);
-    case PlanKind::kConstCompare: return ExecConstCompare(*plan);
-    case PlanKind::kDomainScan: return ExecDomainScan(*plan);
-    case PlanKind::kEqDomain: return ExecEqDomain(*plan);
-    case PlanKind::kJoin: return ExecJoin(*plan);
-    case PlanKind::kAntiJoin: return ExecAntiJoin(*plan);
-    case PlanKind::kUnion: return ExecUnion(*plan);
-    case PlanKind::kProject: return ExecProject(*plan);
+  auto it = results_.find(plan.get());
+  if (it != results_.end()) return &it->second;
+  LQDB_ASSIGN_OR_RETURN(RaTable table, ExecNode(*plan));
+  // unordered_map never moves elements on rehash, so the reference stays
+  // valid for the lifetime of the memo table.
+  auto [pos, inserted] = results_.emplace(plan.get(), std::move(table));
+  assert(inserted);
+  return &pos->second;
+}
+
+Result<RaTable> RaExecutor::ExecNode(const Plan& plan) {
+  switch (plan.kind()) {
+    case PlanKind::kScan: return ExecScan(plan);
+    case PlanKind::kConstTuples: return ExecConstTuples(plan);
+    case PlanKind::kConstCompare: return ExecConstCompare(plan);
+    case PlanKind::kDomainScan: return ExecDomainScan(plan);
+    case PlanKind::kEqDomain: return ExecEqDomain(plan);
+    case PlanKind::kJoin: return ExecJoin(plan);
+    case PlanKind::kAntiJoin: return ExecAntiJoin(plan);
+    case PlanKind::kUnion: return ExecUnion(plan);
+    case PlanKind::kProject: return ExecProject(plan);
   }
   return Status::Internal("unknown plan kind");
 }
@@ -118,12 +138,12 @@ RaTable RaExecutor::ExecEqDomain(const Plan& plan) {
 }
 
 Result<RaTable> RaExecutor::ExecJoin(const Plan& plan) {
-  LQDB_ASSIGN_OR_RETURN(RaTable left, Execute(plan.left()));
-  LQDB_ASSIGN_OR_RETURN(RaTable right, Execute(plan.right()));
+  LQDB_ASSIGN_OR_RETURN(const RaTable* left, Exec(plan.left()));
+  LQDB_ASSIGN_OR_RETURN(const RaTable* right, Exec(plan.right()));
 
-  const std::vector<VarId> shared = SharedAttrs(left.schema, right.schema);
-  auto lidx = SchemaIndex(left.schema);
-  auto ridx = SchemaIndex(right.schema);
+  const std::vector<VarId> shared = SharedAttrs(left->schema, right->schema);
+  auto lidx = SchemaIndex(left->schema);
+  auto ridx = SchemaIndex(right->schema);
   std::vector<size_t> lkey, rkey;
   for (VarId v : shared) {
     lkey.push_back(lidx.at(v));
@@ -136,9 +156,9 @@ Result<RaTable> RaExecutor::ExecJoin(const Plan& plan) {
   }
 
   // Hash the smaller side on the shared key.
-  const bool left_build = left.rel.size() <= right.rel.size();
-  const RaTable& build = left_build ? left : right;
-  const RaTable& probe = left_build ? right : left;
+  const bool left_build = left->rel.size() <= right->rel.size();
+  const RaTable& build = left_build ? *left : *right;
+  const RaTable& probe = left_build ? *right : *left;
   const std::vector<size_t>& build_key = left_build ? lkey : rkey;
   const std::vector<size_t>& probe_key = left_build ? rkey : lkey;
 
@@ -156,7 +176,7 @@ Result<RaTable> RaExecutor::ExecJoin(const Plan& plan) {
       const Tuple& r = left_build ? p : *b;
       Tuple row;
       row.reserve(plan.schema().size());
-      for (size_t i = 0; i < left.schema.size(); ++i) row.push_back(l[i]);
+      for (size_t i = 0; i < left->schema.size(); ++i) row.push_back(l[i]);
       for (size_t pos : rextra) row.push_back(r[pos]);
       out.rel.Insert(std::move(row));
     }
@@ -165,12 +185,12 @@ Result<RaTable> RaExecutor::ExecJoin(const Plan& plan) {
 }
 
 Result<RaTable> RaExecutor::ExecAntiJoin(const Plan& plan) {
-  LQDB_ASSIGN_OR_RETURN(RaTable left, Execute(plan.left()));
-  LQDB_ASSIGN_OR_RETURN(RaTable right, Execute(plan.right()));
+  LQDB_ASSIGN_OR_RETURN(const RaTable* left, Exec(plan.left()));
+  LQDB_ASSIGN_OR_RETURN(const RaTable* right, Exec(plan.right()));
 
-  const std::vector<VarId> shared = SharedAttrs(left.schema, right.schema);
-  auto lidx = SchemaIndex(left.schema);
-  auto ridx = SchemaIndex(right.schema);
+  const std::vector<VarId> shared = SharedAttrs(left->schema, right->schema);
+  auto lidx = SchemaIndex(left->schema);
+  auto ridx = SchemaIndex(right->schema);
   std::vector<size_t> lkey, rkey;
   for (VarId v : shared) {
     lkey.push_back(lidx.at(v));
@@ -178,43 +198,45 @@ Result<RaTable> RaExecutor::ExecAntiJoin(const Plan& plan) {
   }
 
   Relation::TupleSet right_keys;
-  for (const Tuple& t : right.rel.tuples()) {
+  for (const Tuple& t : right->rel.tuples()) {
     right_keys.insert(KeyOf(t, rkey));
   }
 
-  RaTable out(left.schema, Relation(left.rel.arity()));
-  for (const Tuple& t : left.rel.tuples()) {
+  RaTable out(left->schema, Relation(left->rel.arity()));
+  for (const Tuple& t : left->rel.tuples()) {
     if (right_keys.count(KeyOf(t, lkey)) == 0) out.rel.Insert(t);
   }
   return out;
 }
 
 Result<RaTable> RaExecutor::ExecUnion(const Plan& plan) {
-  LQDB_ASSIGN_OR_RETURN(RaTable left, Execute(plan.left()));
-  LQDB_ASSIGN_OR_RETURN(RaTable right, Execute(plan.right()));
+  LQDB_ASSIGN_OR_RETURN(const RaTable* left, Exec(plan.left()));
+  LQDB_ASSIGN_OR_RETURN(const RaTable* right, Exec(plan.right()));
 
   // Reorder right columns into left order.
-  auto ridx = SchemaIndex(right.schema);
+  auto ridx = SchemaIndex(right->schema);
   std::vector<size_t> perm;
-  perm.reserve(left.schema.size());
-  for (VarId v : left.schema) perm.push_back(ridx.at(v));
+  perm.reserve(left->schema.size());
+  for (VarId v : left->schema) perm.push_back(ridx.at(v));
 
-  RaTable out(left.schema, std::move(left.rel));
-  for (const Tuple& t : right.rel.tuples()) {
+  // Copy (not move out of) the left child: it lives in the memo table and
+  // other references to the shared node must still see its rows.
+  RaTable out(left->schema, left->rel);
+  for (const Tuple& t : right->rel.tuples()) {
     out.rel.Insert(KeyOf(t, perm));
   }
   return out;
 }
 
 Result<RaTable> RaExecutor::ExecProject(const Plan& plan) {
-  LQDB_ASSIGN_OR_RETURN(RaTable child, Execute(plan.child()));
-  auto cidx = SchemaIndex(child.schema);
+  LQDB_ASSIGN_OR_RETURN(const RaTable* child, Exec(plan.child()));
+  auto cidx = SchemaIndex(child->schema);
   std::vector<size_t> positions;
   positions.reserve(plan.schema().size());
   for (VarId v : plan.schema()) positions.push_back(cidx.at(v));
 
   RaTable out(plan.schema(), Relation(static_cast<int>(plan.schema().size())));
-  for (const Tuple& t : child.rel.tuples()) {
+  for (const Tuple& t : child->rel.tuples()) {
     out.rel.Insert(KeyOf(t, positions));
   }
   return out;

@@ -1,6 +1,7 @@
 #ifndef LQDB_RA_EXECUTOR_H_
 #define LQDB_RA_EXECUTOR_H_
 
+#include <unordered_map>
 #include <vector>
 
 #include "lqdb/ra/plan.h"
@@ -23,6 +24,13 @@ struct RaTable {
 /// Bottom-up, fully materializing relational-algebra executor using hash
 /// joins. This plays the role of the "standard relational system" that §5
 /// of the paper compiles logical queries onto.
+///
+/// Compiled plans are DAGs — `↔`/`∀` share each compiled child between two
+/// branches — so execution memoizes per plan node: within one `Execute`
+/// call every distinct node is evaluated exactly once, keeping execution
+/// linear in `Plan::NumUniqueNodes()` rather than the tree size. The memo
+/// table is scoped to a single `Execute` call because the Theorem 1 engines
+/// mutate the underlying image database between calls.
 class RaExecutor {
  public:
   explicit RaExecutor(const PhysicalDatabase* db) : db_(db) {}
@@ -30,6 +38,11 @@ class RaExecutor {
   Result<RaTable> Execute(const PlanPtr& plan);
 
  private:
+  /// Memoized evaluation; the returned pointer lives in `results_` and
+  /// stays valid until the next `Execute` call.
+  Result<const RaTable*> Exec(const PlanPtr& plan);
+  Result<RaTable> ExecNode(const Plan& plan);
+
   Result<RaTable> ExecScan(const Plan& plan);
   Result<RaTable> ExecConstTuples(const Plan& plan);
   Result<RaTable> ExecConstCompare(const Plan& plan);
@@ -41,6 +54,7 @@ class RaExecutor {
   Result<RaTable> ExecProject(const Plan& plan);
 
   const PhysicalDatabase* db_;
+  std::unordered_map<const Plan*, RaTable> results_;
 };
 
 }  // namespace lqdb

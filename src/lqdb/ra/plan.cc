@@ -144,6 +144,21 @@ size_t Plan::NumNodes() const {
   return n;
 }
 
+namespace {
+
+void CollectUnique(const Plan* plan, std::set<const Plan*>* seen) {
+  if (!seen->insert(plan).second) return;
+  for (const auto& c : plan->children()) CollectUnique(c.get(), seen);
+}
+
+}  // namespace
+
+size_t Plan::NumUniqueNodes() const {
+  std::set<const Plan*> seen;
+  CollectUnique(this, &seen);
+  return seen.size();
+}
+
 void Plan::AppendTo(const Vocabulary& vocab, int indent,
                     std::string* out) const {
   out->append(static_cast<size_t>(indent) * 2, ' ');

@@ -78,8 +78,15 @@ class Plan {
   /// Indented operator-tree dump for debugging and tests.
   std::string ToString(const Vocabulary& vocab) const;
 
-  /// Total number of operator nodes.
+  /// Total number of operator nodes, counting a shared subtree once per
+  /// reference (the plan viewed as a tree).
   size_t NumNodes() const;
+
+  /// Number of distinct operator nodes (the plan viewed as a DAG). Compiled
+  /// plans share subplans — `↔`/`∀` reference each compiled child from two
+  /// branches — so this is the measure of compiled-plan size and of the
+  /// work a memoizing executor performs.
+  size_t NumUniqueNodes() const;
 
  protected:
   explicit Plan(PlanKind kind) : kind_(kind) {}

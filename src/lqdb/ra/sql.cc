@@ -22,8 +22,7 @@ class SqlEmitter {
                Attr(plan.schema()[1]) + " FROM dom";
       case PlanKind::kJoin: return EmitJoin(plan);
       case PlanKind::kAntiJoin: return EmitAntiJoin(plan);
-      case PlanKind::kUnion:
-        return Emit(*plan.left()) + "\nUNION\n" + Emit(*plan.right());
+      case PlanKind::kUnion: return EmitUnion(plan);
       case PlanKind::kProject: return EmitProject(plan);
     }
     assert(false && "unreachable");
@@ -40,7 +39,9 @@ class SqlEmitter {
   std::string Lit(ConstId c) const {
     std::string out = "'";
     for (char ch : vocab_.ConstantName(c)) {
-      if (ch == '\'') out += "''";
+      // Escape by doubling: emit one extra quote *in addition to* the
+      // character itself (appending "''" here would triple it).
+      if (ch == '\'') out += '\'';
       out += ch;
     }
     out += "'";
@@ -100,8 +101,16 @@ class SqlEmitter {
 
   std::string EmitConstTuples(const Plan& plan) {
     if (plan.rows().empty()) {
-      // The empty relation over this schema.
-      return "SELECT " + SelectList(plan.schema(), "") + " FROM dom WHERE 1=0";
+      // The empty relation over this schema. Columns borrow dom's `v` so
+      // the statement stays valid SQL — selecting bare attribute names here
+      // would reference columns that exist in no table.
+      std::string cols;
+      for (VarId v : plan.schema()) {
+        if (!cols.empty()) cols += ", ";
+        cols += "v AS " + Attr(v);
+      }
+      if (cols.empty()) cols = "1 AS one";
+      return "SELECT " + cols + " FROM dom WHERE 1=0";
     }
     std::string values;
     for (size_t r = 0; r < plan.rows().size(); ++r) {
@@ -157,9 +166,13 @@ class SqlEmitter {
     }
     if (cols.empty()) cols = "1 AS one";
     std::string join_kw = on.empty() ? " CROSS JOIN " : " JOIN ";
-    std::string stmt = "SELECT DISTINCT " + cols + " FROM (" +
-                       Emit(*plan.left()) + ") " + l + join_kw + "(" +
-                       Emit(*plan.right()) + ") " + r;
+    // Emit children left-to-right in separate statements: inside one
+    // expression the evaluation order of the two Emit calls (and hence the
+    // alias numbering) would be unspecified.
+    std::string left_sql = Emit(*plan.left());
+    std::string right_sql = Emit(*plan.right());
+    std::string stmt = "SELECT DISTINCT " + cols + " FROM (" + left_sql +
+                       ") " + l + join_kw + "(" + right_sql + ") " + r;
     if (!on.empty()) stmt += " ON " + on;
     return stmt;
   }
@@ -176,12 +189,31 @@ class SqlEmitter {
         }
       }
     }
+    // Children left-to-right in separate statements (see EmitJoin).
+    std::string left_sql = Emit(*plan.left());
+    std::string right_sql = Emit(*plan.right());
     std::string stmt = "SELECT " + SelectList(plan.schema(), l) + " FROM (" +
-                       Emit(*plan.left()) + ") " + l +
-                       " WHERE NOT EXISTS (SELECT 1 FROM (" +
-                       Emit(*plan.right()) + ") " + r;
+                       left_sql + ") " + l +
+                       " WHERE NOT EXISTS (SELECT 1 FROM (" + right_sql +
+                       ") " + r;
     if (!corr.empty()) stmt += " WHERE " + corr;
     stmt += ")";
+    return stmt;
+  }
+
+  std::string EmitUnion(const Plan& plan) {
+    // SQL UNION matches columns by *position*, but `Plan::Union` only
+    // requires equal attribute *sets* — when the right child's column order
+    // differs, wrap it in a reordering SELECT so positions line up with the
+    // left child.
+    std::string stmt = Emit(*plan.left()) + "\nUNION\n";
+    if (plan.right()->schema() == plan.left()->schema()) {
+      stmt += Emit(*plan.right());
+    } else {
+      std::string r = Alias();
+      stmt += "SELECT " + SelectList(plan.left()->schema(), r) + " FROM (" +
+              Emit(*plan.right()) + ") " + r;
+    }
     return stmt;
   }
 

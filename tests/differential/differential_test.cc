@@ -307,6 +307,86 @@ TEST(DifferentialTest, SkewedProfileParallelAgreesOnAllInstances) {
   }
 }
 
+/// The compiled-plan dimension: `ra-exact` replaces the per-image batched
+/// evaluator with a cached relational-algebra plan (hash joins, anti-joins
+/// for negation, shared subplans for `↔`/`→`/`∀`), so the whole compiler +
+/// executor stack must reproduce `ExactEvaluator`'s answers bit-for-bit on
+/// every instance the suite generates — the same 268 (profile, seed) pairs
+/// the other dimensions sweep. The generator emits first-order formulas
+/// only, so every instance exercises the compiled path rather than the
+/// second-order fallback.
+TEST(DifferentialTest, RaExactAgreesOnAllInstances) {
+  struct Sweep {
+    InstanceProfile profile;
+    uint64_t seeds;
+  };
+  const Sweep sweeps[] = {
+      {InstanceProfile::kTiny, 40},   {InstanceProfile::kSmall, 40},
+      {InstanceProfile::kBinary, 40}, {InstanceProfile::kSmall, 30},
+      {InstanceProfile::kBinary, 30}, {InstanceProfile::kFullySpecified, 40},
+      {InstanceProfile::kPositive, 40}, {InstanceProfile::kTiny, 8},
+  };
+  uint64_t instances = 0;
+  for (const Sweep& sweep : sweeps) {
+    for (uint64_t seed = 0; seed < sweep.seeds; ++seed) {
+      ++instances;
+      DifferentialInstance instance = MakeInstance(seed, sweep.profile);
+      SCOPED_TRACE(Describe(instance));
+
+      ExactEvaluator exact(instance.db.get());
+      ASSERT_OK_AND_ASSIGN(Relation exact_answer,
+                           exact.Answer(instance.query));
+      ASSERT_OK_AND_ASSIGN(Relation exact_possible,
+                           exact.PossibleAnswer(instance.query));
+
+      ASSERT_OK_AND_ASSIGN(std::unique_ptr<QueryEngine> ra,
+                           EngineRegistry::Global().Create(
+                               "ra-exact", instance.db.get()));
+      ASSERT_OK_AND_ASSIGN(Relation ra_answer, ra->Answer(instance.query));
+      EXPECT_EQ(ra_answer, exact_answer)
+          << AnswerDiff(*instance.db, "ra-exact", ra_answer, "exact",
+                        exact_answer);
+
+      ASSERT_OK_AND_ASSIGN(Relation ra_possible,
+                           ra->PossibleAnswer(instance.query));
+      EXPECT_EQ(ra_possible, exact_possible)
+          << AnswerDiff(*instance.db, "ra-exact", ra_possible, "exact",
+                        exact_possible);
+    }
+  }
+  EXPECT_EQ(instances, 268u);
+}
+
+/// ra-exact on the skewed profile: the known constants pin a long RGS
+/// prefix chain, so the canonical enumeration visits many near-identical
+/// images — exactly the case the cached plan is supposed to accelerate
+/// without changing a single answer.
+TEST(DifferentialTest, SkewedProfileRaExactAgreesOnAllInstances) {
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    DifferentialInstance instance =
+        MakeInstance(seed, InstanceProfile::kSkewed);
+    SCOPED_TRACE(Describe(instance));
+
+    ExactEvaluator exact(instance.db.get());
+    ASSERT_OK_AND_ASSIGN(Relation exact_answer, exact.Answer(instance.query));
+    ASSERT_OK_AND_ASSIGN(Relation exact_possible,
+                         exact.PossibleAnswer(instance.query));
+
+    ASSERT_OK_AND_ASSIGN(
+        std::unique_ptr<QueryEngine> ra,
+        EngineRegistry::Global().Create("ra-exact", instance.db.get()));
+    ASSERT_OK_AND_ASSIGN(Relation ra_answer, ra->Answer(instance.query));
+    EXPECT_EQ(ra_answer, exact_answer)
+        << AnswerDiff(*instance.db, "ra-exact", ra_answer, "exact",
+                      exact_answer);
+    ASSERT_OK_AND_ASSIGN(Relation ra_possible,
+                         ra->PossibleAnswer(instance.query));
+    EXPECT_EQ(ra_possible, exact_possible)
+        << AnswerDiff(*instance.db, "ra-exact", ra_possible, "exact",
+                      exact_possible);
+  }
+}
+
 /// First-principles cross-check on tiny instances: membership according to
 /// `ExactEvaluator` must match `ModelEnumerationContains`, which decides
 /// `T ⊨_f φ(c)` straight from the §2.1 definition by enumerating every

@@ -30,17 +30,18 @@ std::unique_ptr<CwDatabase> MurderDb() {
 TEST(EngineRegistryTest, BuiltinsAreRegistered) {
   EngineRegistry& registry = EngineRegistry::Global();
   for (const char* name :
-       {"brute", "exact", "parallel-exact", "approx", "physical"}) {
+       {"brute", "exact", "parallel-exact", "ra-exact", "approx",
+        "physical"}) {
     EXPECT_TRUE(registry.Has(name)) << name;
   }
   auto names = registry.Names();
-  EXPECT_GE(names.size(), 5u);
+  EXPECT_GE(names.size(), 6u);
   EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
 }
 
 TEST(EngineRegistryTest, CapabilitiesMatchTheTheorems) {
   EngineRegistry& registry = EngineRegistry::Global();
-  for (const char* name : {"brute", "exact", "parallel-exact"}) {
+  for (const char* name : {"brute", "exact", "parallel-exact", "ra-exact"}) {
     ASSERT_OK_AND_ASSIGN(EngineCapabilities caps,
                          registry.CapabilitiesOf(name));
     EXPECT_TRUE(caps.exact()) << name;
@@ -85,7 +86,7 @@ TEST(EngineRegistryTest, DuplicateRegistrationIsRejected) {
 }
 
 TEST(EngineRegistryTest, ExactFamilyEnginesAgreeThroughTheRegistry) {
-  for (const char* name : {"brute", "exact", "parallel-exact"}) {
+  for (const char* name : {"brute", "exact", "parallel-exact", "ra-exact"}) {
     SCOPED_TRACE(name);
     auto lb = MurderDb();
     auto query = ParseQuery(lb->mutable_vocab(), "(x) . !MURDERER(x)");
@@ -133,7 +134,7 @@ TEST(EngineRegistryTest, ApproxEngineIsSoundThroughTheRegistry) {
 }
 
 TEST(EngineRegistryTest, PossibleAnswerThroughTheRegistry) {
-  for (const char* name : {"exact", "parallel-exact"}) {
+  for (const char* name : {"exact", "parallel-exact", "ra-exact"}) {
     SCOPED_TRACE(name);
     auto lb = MurderDb();
     auto query = ParseQuery(lb->mutable_vocab(), "(x) . MURDERER(x)");

@@ -6,6 +6,7 @@
 #include "lqdb/exact/brute.h"
 #include "lqdb/exact/exact.h"
 #include "lqdb/exact/parallel.h"
+#include "lqdb/exact/ra_exact.h"
 #include "lqdb/logic/parser.h"
 #include "lqdb/logic/printer.h"
 #include "testing.h"
@@ -429,6 +430,15 @@ TEST(CandidateSpaceTest, ConstantFreeDatabaseFailsCleanlyOnAllEngines) {
   EXPECT_EQ(parallel.PossibleAnswer(q).status().code(),
             StatusCode::kFailedPrecondition);
   EXPECT_EQ(parallel.Contains(boolean, {}).status().code(),
+            StatusCode::kFailedPrecondition);
+
+  // ra-exact checks the precondition before compiling: the compiled plan's
+  // cardinality stats and the enumeration both assume a nonempty `C`.
+  RaExactEvaluator ra(&lb);
+  EXPECT_EQ(ra.Answer(q).status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(ra.PossibleAnswer(q).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(ra.Contains(boolean, {}).status().code(),
             StatusCode::kFailedPrecondition);
 }
 

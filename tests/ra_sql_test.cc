@@ -1,0 +1,173 @@
+// Golden-output tests for the SQL emitter (ra/sql.cc): each representative
+// plan shape is pinned to its exact emitted statement, so quoting, aliasing
+// and column-order rules cannot regress silently. Plans are built directly
+// through the validating factories (not the compiler) to keep the goldens
+// independent of join-ordering heuristics.
+#include <gtest/gtest.h>
+
+#include "lqdb/logic/parser.h"
+#include "lqdb/ra/compiler.h"
+#include "lqdb/ra/plan.h"
+#include "lqdb/ra/sql.h"
+#include "testing.h"
+
+namespace lqdb {
+namespace {
+
+class RaSqlTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    a_ = vocab_.AddConstant("A");
+    b_ = vocab_.AddConstant("B");
+    p_ = vocab_.AddPredicate("P", 1).value();
+    r_ = vocab_.AddPredicate("R", 2).value();
+    x_ = vocab_.AddVariable("x");
+    y_ = vocab_.AddVariable("y");
+  }
+
+  Vocabulary vocab_;
+  ConstId a_, b_;
+  PredId p_, r_;
+  VarId x_, y_;
+};
+
+TEST_F(RaSqlTest, ScanWithConstantFilter) {
+  ASSERT_OK_AND_ASSIGN(
+      PlanPtr plan,
+      Plan::Scan(vocab_, r_, {Term::Variable(x_), Term::Constant(a_)}));
+  EXPECT_EQ(EmitSql(vocab_, plan),
+            "SELECT DISTINCT t0.c0 AS x FROM R t0 WHERE t0.c1 = 'A'");
+}
+
+TEST_F(RaSqlTest, ScanWithRepeatedVariable) {
+  ASSERT_OK_AND_ASSIGN(
+      PlanPtr plan,
+      Plan::Scan(vocab_, r_, {Term::Variable(x_), Term::Variable(x_)}));
+  EXPECT_EQ(EmitSql(vocab_, plan),
+            "SELECT DISTINCT t0.c0 AS x FROM R t0 WHERE t0.c1 = t0.c0");
+}
+
+TEST_F(RaSqlTest, ScanWithAllConstantsKeepsPlaceholderColumn) {
+  ASSERT_OK_AND_ASSIGN(
+      PlanPtr plan,
+      Plan::Scan(vocab_, r_, {Term::Constant(a_), Term::Constant(b_)}));
+  EXPECT_EQ(EmitSql(vocab_, plan),
+            "SELECT DISTINCT 1 AS one FROM R t0 "
+            "WHERE t0.c0 = 'A' AND t0.c1 = 'B'");
+}
+
+TEST_F(RaSqlTest, LiteralsDoubleEmbeddedQuotes) {
+  ConstId quoted = vocab_.AddConstant("O'Hara");
+  ASSERT_OK_AND_ASSIGN(PlanPtr plan, Plan::ConstTuples({x_}, {{quoted}}));
+  EXPECT_EQ(EmitSql(vocab_, plan),
+            "SELECT DISTINCT * FROM (VALUES ('O''Hara')) AS t0(x)");
+}
+
+TEST_F(RaSqlTest, EmptyConstTuplesSelectsOnlyExistingColumns) {
+  // Regression: the empty relation over a non-empty schema used to emit
+  // `SELECT x, y FROM dom WHERE 1=0`, referencing columns that exist in no
+  // table; the columns must borrow dom's `v`.
+  ASSERT_OK_AND_ASSIGN(PlanPtr plan, Plan::ConstTuples({x_, y_}, {}));
+  EXPECT_EQ(EmitSql(vocab_, plan),
+            "SELECT v AS x, v AS y FROM dom WHERE 1=0");
+
+  ASSERT_OK_AND_ASSIGN(PlanPtr empty, Plan::ConstTuples({}, {}));
+  EXPECT_EQ(EmitSql(vocab_, empty), "SELECT 1 AS one FROM dom WHERE 1=0");
+}
+
+TEST_F(RaSqlTest, ConstCompareAndDomainScans) {
+  EXPECT_EQ(EmitSql(vocab_, Plan::ConstCompare(a_, b_)),
+            "SELECT 1 AS one WHERE 'A' = 'B'");
+  EXPECT_EQ(EmitSql(vocab_, Plan::DomainScan(x_)), "SELECT v AS x FROM dom");
+  ASSERT_OK_AND_ASSIGN(PlanPtr eq, Plan::EqDomain(x_, y_));
+  EXPECT_EQ(EmitSql(vocab_, eq), "SELECT v AS x, v AS y FROM dom");
+}
+
+TEST_F(RaSqlTest, JoinQualifiesSharedColumnsFromTheLeft) {
+  ASSERT_OK_AND_ASSIGN(PlanPtr sp, Plan::Scan(vocab_, p_,
+                                              {Term::Variable(x_)}));
+  ASSERT_OK_AND_ASSIGN(
+      PlanPtr sr,
+      Plan::Scan(vocab_, r_, {Term::Variable(x_), Term::Variable(y_)}));
+  ASSERT_OK_AND_ASSIGN(PlanPtr join, Plan::Join(sp, sr));
+  EXPECT_EQ(EmitSql(vocab_, join),
+            "SELECT DISTINCT t0.x, t1.y FROM "
+            "(SELECT DISTINCT t2.c0 AS x FROM P t2) t0 JOIN "
+            "(SELECT DISTINCT t3.c0 AS x, t3.c1 AS y FROM R t3) t1 "
+            "ON t0.x = t1.x");
+}
+
+TEST_F(RaSqlTest, DisconnectedJoinIsCrossJoin) {
+  ASSERT_OK_AND_ASSIGN(PlanPtr sp, Plan::Scan(vocab_, p_,
+                                              {Term::Variable(x_)}));
+  ASSERT_OK_AND_ASSIGN(PlanPtr sq, Plan::Scan(vocab_, p_,
+                                              {Term::Variable(y_)}));
+  ASSERT_OK_AND_ASSIGN(PlanPtr join, Plan::Join(sp, sq));
+  EXPECT_EQ(EmitSql(vocab_, join),
+            "SELECT DISTINCT t0.x, t1.y FROM "
+            "(SELECT DISTINCT t2.c0 AS x FROM P t2) t0 CROSS JOIN "
+            "(SELECT DISTINCT t3.c0 AS y FROM P t3) t1");
+}
+
+TEST_F(RaSqlTest, AntiJoinCorrelatesOnSharedColumns) {
+  ASSERT_OK_AND_ASSIGN(PlanPtr sp, Plan::Scan(vocab_, p_,
+                                              {Term::Variable(x_)}));
+  ASSERT_OK_AND_ASSIGN(PlanPtr anti,
+                       Plan::AntiJoin(Plan::DomainScan(x_), sp));
+  EXPECT_EQ(EmitSql(vocab_, anti),
+            "SELECT t0.x FROM (SELECT v AS x FROM dom) t0 "
+            "WHERE NOT EXISTS (SELECT 1 FROM "
+            "(SELECT DISTINCT t2.c0 AS x FROM P t2) t1 WHERE t1.x = t0.x)");
+}
+
+TEST_F(RaSqlTest, UnionReordersPermutedRightColumns) {
+  // Regression: SQL UNION matches columns by position while Plan::Union
+  // only requires equal attribute sets — a right child whose column order
+  // differs used to be emitted unchanged, silently unioning x against y.
+  ASSERT_OK_AND_ASSIGN(
+      PlanPtr fwd,
+      Plan::Scan(vocab_, r_, {Term::Variable(x_), Term::Variable(y_)}));
+  ASSERT_OK_AND_ASSIGN(
+      PlanPtr rev,
+      Plan::Scan(vocab_, r_, {Term::Variable(y_), Term::Variable(x_)}));
+  ASSERT_OK_AND_ASSIGN(PlanPtr u, Plan::Union(fwd, rev));
+  EXPECT_EQ(EmitSql(vocab_, u),
+            "SELECT DISTINCT t0.c0 AS x, t0.c1 AS y FROM R t0\n"
+            "UNION\n"
+            "SELECT t1.x, t1.y FROM "
+            "(SELECT DISTINCT t2.c0 AS y, t2.c1 AS x FROM R t2) t1");
+}
+
+TEST_F(RaSqlTest, UnionWithAlignedColumnsStaysFlat) {
+  ASSERT_OK_AND_ASSIGN(PlanPtr sp, Plan::Scan(vocab_, p_,
+                                              {Term::Variable(x_)}));
+  ASSERT_OK_AND_ASSIGN(PlanPtr u, Plan::Union(sp, Plan::DomainScan(x_)));
+  EXPECT_EQ(EmitSql(vocab_, u),
+            "SELECT DISTINCT t0.c0 AS x FROM P t0\n"
+            "UNION\n"
+            "SELECT v AS x FROM dom");
+}
+
+TEST_F(RaSqlTest, ProjectWrapsChild) {
+  ASSERT_OK_AND_ASSIGN(
+      PlanPtr scan,
+      Plan::Scan(vocab_, r_, {Term::Variable(x_), Term::Variable(y_)}));
+  ASSERT_OK_AND_ASSIGN(PlanPtr proj, Plan::Project(scan, {y_}));
+  EXPECT_EQ(EmitSql(vocab_, proj),
+            "SELECT DISTINCT t0.y FROM "
+            "(SELECT DISTINCT t1.c0 AS x, t1.c1 AS y FROM R t1) t0");
+}
+
+TEST_F(RaSqlTest, CompiledQueryGolden) {
+  // End-to-end through the compiler for a shape whose plan is independent
+  // of the join-ordering heuristics.
+  ASSERT_OK_AND_ASSIGN(Query q, ParseQuery(&vocab_, "(x) . P(x)"));
+  RaCompiler compiler(&vocab_);
+  ASSERT_OK_AND_ASSIGN(PlanPtr plan, compiler.Compile(q));
+  EXPECT_EQ(EmitSql(vocab_, plan),
+            "SELECT DISTINCT t0.x FROM "
+            "(SELECT DISTINCT t1.c0 AS x FROM P t1) t0");
+}
+
+}  // namespace
+}  // namespace lqdb

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include "lqdb/eval/evaluator.h"
+#include "lqdb/exact/exact.h"
+#include "lqdb/exact/ra_exact.h"
 #include "lqdb/logic/parser.h"
 #include "lqdb/ra/compiler.h"
 #include "lqdb/ra/executor.h"
@@ -236,6 +238,177 @@ TEST_F(CompilerEquivalenceTest, RandomFormulasAgree) {
     ASSERT_OK_AND_ASSIGN(RaTable got, ex.Execute(plan));
     EXPECT_EQ(got.rel, expected) << "seed " << seed;
   }
+}
+
+TEST_F(CompilerEquivalenceTest, VacuousQuantifiersNeedAWitnessOnEmptyDomains) {
+  // Regression: `∃x. φ` with x not free in φ used to compile to φ alone, on
+  // the claim that domains are nonempty — false for a physical database
+  // with an empty domain, where every existential is false and every
+  // universal is true. The Evaluator refuses empty domains outright, so
+  // the expectations here are first-principles; the compiled plans must
+  // not silently claim a witness no domain provides. All queries are
+  // constant-free so the plans never consult a constant interpretation.
+  PhysicalDatabase empty(&vocab_);
+  struct Case {
+    const char* text;
+    bool holds;  // over the empty domain
+  };
+  const Case cases[] = {
+      {"exists x. true", false},  // the old compiler said true
+      {"exists x. x = x", false},
+      {"exists x. !P(x)", false},
+      {"forall x. false", true},
+      {"forall x. P(x)", true},
+      {"exists x. forall y. true", false},
+  };
+  for (const Case& c : cases) {
+    ASSERT_OK_AND_ASSIGN(Query q, ParseQuery(&vocab_, c.text));
+    RaCompiler compiler(&vocab_);
+    ASSERT_OK_AND_ASSIGN(PlanPtr plan, compiler.Compile(q));
+    RaExecutor ex(&empty);
+    ASSERT_OK_AND_ASSIGN(RaTable got, ex.Execute(plan));
+    EXPECT_EQ(!got.rel.empty(), c.holds) << "query: " << c.text;
+
+    // On a nonempty domain the Evaluator is the oracle, and the vacuous
+    // quantifier must still behave like a quantifier there.
+    Evaluator eval(db_.get());
+    ASSERT_OK_AND_ASSIGN(Relation expected, eval.Answer(q));
+    RaExecutor ex2(db_.get());
+    ASSERT_OK_AND_ASSIGN(RaTable got2, ex2.Execute(plan));
+    EXPECT_EQ(got2.rel, expected) << "query: " << c.text;
+  }
+}
+
+TEST_F(RaTest, GuardedForallCompilesToAnAntiJoinWithoutAUniverse) {
+  // ∀y (R(x,y) → P(y)) compiles its violating set R ∧ ¬P as a single
+  // anti-join keyed on P's variable — not by complementing the compiled
+  // implication, which would materialize a |C|² domain-product universe
+  // (a Union of ¬R and padded P) per image.
+  ASSERT_OK_AND_ASSIGN(Query q,
+                       ParseQuery(&vocab_, "(x) . forall y. R(x, y) -> P(y)"));
+  RaCompiler compiler(&vocab_);
+  ASSERT_OK_AND_ASSIGN(PlanPtr plan, compiler.Compile(q));
+  const std::string s = plan->ToString(vocab_);
+  EXPECT_EQ(s.find("Union"), std::string::npos) << s;
+  EXPECT_NE(s.find("AntiJoin"), std::string::npos) << s;
+  // Outer complement over {x} plus the violating-set anti-join; the old
+  // route paid a third anti-join to complement the implication.
+  size_t anti_joins = 0;
+  for (size_t pos = s.find("AntiJoin"); pos != std::string::npos;
+       pos = s.find("AntiJoin", pos + 1)) {
+    ++anti_joins;
+  }
+  EXPECT_EQ(anti_joins, 2u) << s;
+}
+
+TEST_F(RaTest, NestedIffCompilesToALinearDag) {
+  // Regression: `↔`/`→`/`∀` used to desugar at the formula level,
+  // duplicating child subtrees — compiled plan size was exponential in the
+  // nesting depth. Each child is now compiled once and its PlanPtr shared
+  // between the branches, so the DAG grows linearly.
+  VarId x = vocab_.AddVariable("x");
+  FormulaPtr atom = Formula::Atom(p_, {Term::Variable(x)});
+  constexpr int kDepth = 12;
+  FormulaPtr f = atom;
+  for (int i = 0; i < kDepth; ++i) f = Formula::Iff(f, atom);
+  ASSERT_OK_AND_ASSIGN(Query q, Query::Make({x}, f));
+
+  RaCompiler compiler(&vocab_);
+  ASSERT_OK_AND_ASSIGN(PlanPtr plan, compiler.Compile(q));
+  EXPECT_LE(plan->NumUniqueNodes(), 16u * kDepth + 16u);
+  // The tree view still counts both references to each shared child.
+  EXPECT_GT(plan->NumNodes(), plan->NumUniqueNodes());
+
+  // The memoizing executor evaluates each shared subplan once, and the
+  // answer matches the evaluator's.
+  Evaluator eval(db_.get());
+  ASSERT_OK_AND_ASSIGN(Relation expected, eval.Answer(q));
+  RaTable t = Exec(plan);
+  EXPECT_EQ(t.rel, expected);
+}
+
+TEST_F(RaTest, JoinOrderFollowsCardinalityEstimates) {
+  ASSERT_OK_AND_ASSIGN(Query q,
+                       ParseQuery(&vocab_, "(x, y) . R(x, y) & P(x)"));
+
+  RaCardinalities stats;
+  stats.domain_size = 3.0;
+  stats.relation_sizes.assign(vocab_.num_predicates(), 0.0);
+  stats.relation_sizes[p_] = 2.0;
+  stats.relation_sizes[r_] = 1000.0;
+  RaCompiler compiler(&vocab_, stats);
+  ASSERT_OK_AND_ASSIGN(PlanPtr plan, compiler.Compile(q));
+  // The greedy ordering seeds the join with the smaller input: P's scan is
+  // the left side even though R(x, y) appears first in the formula.
+  ASSERT_EQ(plan->kind(), PlanKind::kProject);
+  ASSERT_EQ(plan->child()->kind(), PlanKind::kJoin);
+  ASSERT_EQ(plan->child()->left()->kind(), PlanKind::kScan);
+  EXPECT_EQ(plan->child()->left()->pred(), p_);
+
+  // Flip the sizes and R seeds the join instead.
+  stats.relation_sizes[p_] = 1000.0;
+  stats.relation_sizes[r_] = 2.0;
+  RaCompiler flipped(&vocab_, stats);
+  ASSERT_OK_AND_ASSIGN(PlanPtr plan2, flipped.Compile(q));
+  ASSERT_EQ(plan2->kind(), PlanKind::kProject);
+  ASSERT_EQ(plan2->child()->kind(), PlanKind::kJoin);
+  ASSERT_EQ(plan2->child()->left()->kind(), PlanKind::kScan);
+  EXPECT_EQ(plan2->child()->left()->pred(), r_);
+}
+
+TEST(RaExactEvaluatorTest, MatchesExactAndCachesPlans) {
+  CwDatabase lb;
+  ASSERT_OK(lb.AddFact("TEACHES", {"Socrates", "Plato"}));
+  lb.AddUnknownConstant("Mystery");
+  Vocabulary* vocab = lb.mutable_vocab();
+  ASSERT_OK_AND_ASSIGN(Query q,
+                       ParseQuery(vocab, "(x) . TEACHES(Socrates, x)"));
+
+  ExactEvaluator exact(&lb);
+  ASSERT_OK_AND_ASSIGN(Relation expected, exact.Answer(q));
+
+  RaExactEvaluator ra(&lb);
+  ASSERT_OK_AND_ASSIGN(Relation got, ra.Answer(q));
+  EXPECT_EQ(got, expected);
+  EXPECT_TRUE(ra.last_used_ra());
+  EXPECT_GE(ra.last_mappings_examined(), 1u);
+  EXPECT_EQ(ra.plan_cache_size(), 1u);
+
+  // Repeat evaluations (Answer and PossibleAnswer alike) reuse the cached
+  // plan instead of recompiling.
+  ASSERT_OK_AND_ASSIGN(Relation again, ra.Answer(q));
+  EXPECT_EQ(again, expected);
+  ASSERT_OK_AND_ASSIGN(Relation possible, ra.PossibleAnswer(q));
+  ASSERT_OK_AND_ASSIGN(Relation possible_exact, exact.PossibleAnswer(q));
+  EXPECT_EQ(possible, possible_exact);
+  EXPECT_EQ(ra.plan_cache_size(), 1u);
+
+  // A second query grows the cache.
+  ASSERT_OK_AND_ASSIGN(Query q2, ParseQuery(vocab, "(x) . !TEACHES(x, x)"));
+  ASSERT_OK(ra.Answer(q2).status());
+  EXPECT_EQ(ra.plan_cache_size(), 2u);
+}
+
+TEST(RaExactEvaluatorTest, SecondOrderQueriesFallBackToTheBatchedPath) {
+  CwDatabase lb;
+  ASSERT_OK(lb.AddFact("P", {"A"}));
+  lb.AddUnknownConstant("U");
+  Vocabulary* vocab = lb.mutable_vocab();
+  ASSERT_OK_AND_ASSIGN(Query q,
+                       ParseQuery(vocab, "exists2 S/1. exists x. S(x)"));
+
+  ExactEvaluator exact(&lb);
+  ASSERT_OK_AND_ASSIGN(bool expected, exact.Contains(q, {}));
+
+  RaExactEvaluator ra(&lb);
+  ASSERT_OK_AND_ASSIGN(bool got, ra.Contains(q, {}));
+  EXPECT_EQ(got, expected);
+  EXPECT_FALSE(ra.last_used_ra());
+  // Uncompilable queries are cached too (as null plans): repeat calls skip
+  // recompilation and still take the fallback.
+  ASSERT_OK_AND_ASSIGN(bool again, ra.Contains(q, {}));
+  EXPECT_EQ(again, expected);
+  EXPECT_EQ(ra.plan_cache_size(), 1u);
 }
 
 TEST_F(CompilerEquivalenceTest, SecondOrderIsRejected) {

@@ -120,16 +120,42 @@ set threads 2
 query (x) . !MURDERER(x)
 set engine approx
 query (x) . !MURDERER(x)
+set engine ra-exact
+query (x) . !MURDERER(x)
 )");
   // `engines` lists every builtin with capability flags.
   for (const char* name :
-       {"brute", "exact", "parallel-exact", "approx", "physical"}) {
+       {"brute", "exact", "parallel-exact", "ra-exact", "approx",
+        "physical"}) {
     EXPECT_NE(out.find(name), std::string::npos) << out;
   }
-  // Both selected engines clear exactly Victoria.
-  size_t first = out.find("{(Victoria)}");
-  ASSERT_NE(first, std::string::npos) << out;
-  EXPECT_NE(out.find("{(Victoria)}", first + 1), std::string::npos) << out;
+  // All three selected engines clear exactly Victoria.
+  size_t pos = 0;
+  int hits = 0;
+  while ((pos = out.find("{(Victoria)}", pos)) != std::string::npos) {
+    ++hits;
+    ++pos;
+  }
+  EXPECT_EQ(hits, 3) << out;
+  EXPECT_EQ(out.find("error:"), std::string::npos) << out;
+}
+
+TEST(ShellTest, ExplainShowsPlanAndFallback) {
+  std::string out = RunShellScript(R"(unknown Jack
+fact MURDERER(Jack)
+known Victoria
+explain (x) . !MURDERER(x)
+explain exists2 S/1. exists x. S(x)
+)");
+  // The compilable query gets a plan tree, node counts and SQL.
+  EXPECT_NE(out.find("AntiJoin"), std::string::npos) << out;
+  EXPECT_NE(out.find("unique"), std::string::npos) << out;
+  EXPECT_NE(out.find("SQL:"), std::string::npos) << out;
+  EXPECT_NE(out.find("SELECT"), std::string::npos) << out;
+  // The second-order query reports the ra-exact fallback instead.
+  EXPECT_NE(out.find("falls back to the batched evaluator"),
+            std::string::npos)
+      << out;
   EXPECT_EQ(out.find("error:"), std::string::npos) << out;
 }
 

@@ -77,9 +77,54 @@ def main() -> int:
     print(f"wrote {out_path}: {len(merged['suites'])} suites, "
           f"{total} benchmark entries")
 
+    print_ra_vs_exact(merged)
     if args.diff is not None:
         print_diff(pathlib.Path(args.diff), merged)
     return 0
+
+
+def snapshot_times(snapshot: dict) -> dict:
+    """(suite, name) -> (real_time, time_unit) for every benchmark entry."""
+    out = {}
+    for suite, entries in snapshot.get("suites", {}).items():
+        for entry in entries:
+            name = entry.get("name")
+            real = entry.get("real_time")
+            if name is None or real is None:
+                continue
+            out[(suite, name)] = (real, entry.get("time_unit", "ns"))
+    return out
+
+
+def print_ra_vs_exact(merged: dict) -> None:
+    """Pairs every ".../ra-exact..." row with its ".../exact..." partner
+    (substring replacement "ra-exact" -> "exact") inside this snapshot and
+    prints the compiled-plan speedup — the benches emit pairable names
+    ("BM_TheoremOne/exact" vs "BM_TheoremOne/ra-exact") for exactly this.
+    """
+    times = snapshot_times(merged)
+    pairs = []
+    for (suite, name) in sorted(times):
+        if "ra-exact" not in name:
+            continue
+        partner = (suite, name.replace("ra-exact", "exact"))
+        if partner in times:
+            pairs.append(((suite, name), times[(suite, name)], times[partner]))
+    if not pairs:
+        return
+
+    rows = [("suite", "benchmark", "exact", "ra-exact", "speedup")]
+    for (suite, name), (ra_t, ra_unit), (exact_t, exact_unit) in pairs:
+        speedup = exact_t / ra_t if ra_t > 0 and ra_unit == exact_unit else None
+        rows.append((suite, name,
+                     f"{exact_t:.3f} {exact_unit}", f"{ra_t:.3f} {ra_unit}",
+                     f"{speedup:.2f}x" if speedup is not None else "n/a"))
+    widths = [max(len(row[col]) for row in rows) for col in range(5)]
+    print("\nra-exact vs exact within this snapshot "
+          "(exact/ra-exact real_time; >1 means the compiled plan wins):")
+    for row in rows:
+        print("  " + "  ".join(cell.ljust(width)
+                               for cell, width in zip(row, widths)).rstrip())
 
 
 def print_diff(baseline_path: pathlib.Path, merged: dict) -> None:
@@ -90,19 +135,8 @@ def print_diff(baseline_path: pathlib.Path, merged: dict) -> None:
         print(f"cannot diff against {baseline_path}: {err}", file=sys.stderr)
         return
 
-    def times(snapshot: dict) -> dict:
-        out = {}
-        for suite, entries in snapshot.get("suites", {}).items():
-            for entry in entries:
-                name = entry.get("name")
-                real = entry.get("real_time")
-                if name is None or real is None:
-                    continue
-                out[(suite, name)] = (real, entry.get("time_unit", "ns"))
-        return out
-
-    old = times(baseline)
-    new = times(merged)
+    old = snapshot_times(baseline)
+    new = snapshot_times(merged)
     shared = sorted(set(old) & set(new))
     if not shared:
         print(f"no shared benchmarks with {baseline_path}", file=sys.stderr)

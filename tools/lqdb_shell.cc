@@ -74,6 +74,8 @@ constexpr const char* kHelp = R"(commands:
   set threads N          worker threads for parallel engines (0 = hardware)
   set max_mappings N     Theorem 1 enumeration budget per query
   plan QUERY             show Q^, its relational-algebra plan and SQL
+  explain QUERY          how ra-exact evaluates QUERY: its compiled plan,
+                         plan size and SQL (or the fallback it takes)
   help                   this text
   quit                   leave
 query syntax:  (x, y) . exists z. R(x, z) & !S(z, y)   or a sentence)";
@@ -136,6 +138,8 @@ class Shell {
       }
     } else if (cmd == "engines") {
       ListEngines();
+    } else if (cmd == "explain") {
+      Explain(rest);
     } else if (cmd == "set") {
       Set(rest);
     } else if (cmd == "exact" || cmd == "possible" || cmd == "approx" ||
@@ -230,6 +234,35 @@ class Shell {
       return options_.threads == 1 ? "exact" : "parallel-exact";
     }
     return command;  // "approx", "physical"
+  }
+
+  /// `explain`: how the ra-exact engine would evaluate the query — the
+  /// compiled relational-algebra plan (join-ordered against the loaded
+  /// database's cardinalities), its DAG size, and its SQL rendering.
+  /// Queries outside the compilable first-order fragment report the
+  /// fallback ra-exact takes instead.
+  void Explain(const std::string& text) {
+    auto query = ParseQuery(lb_->mutable_vocab(), text);
+    if (!query.ok()) return Report(query.status());
+    RaCardinalities stats;
+    stats.domain_size = static_cast<double>(lb_->num_constants());
+    stats.relation_sizes.assign(lb_->vocab().num_predicates(), 0.0);
+    for (PredId p : lb_->PredicatesWithFacts()) {
+      stats.relation_sizes[p] = static_cast<double>(lb_->facts(p).size());
+    }
+    RaCompiler compiler(&lb_->vocab(), stats);
+    auto plan = compiler.Compile(query.value());
+    if (!plan.ok()) {
+      std::printf("not compilable to relational algebra: %s\n",
+                  plan.status().ToString().c_str());
+      std::printf(
+          "ra-exact falls back to the batched evaluator for this query\n");
+      return;
+    }
+    std::printf("%s", plan.value()->ToString(lb_->vocab()).c_str());
+    std::printf("nodes: %zu unique (%zu as a tree)\n",
+                plan.value()->NumUniqueNodes(), plan.value()->NumNodes());
+    std::printf("SQL:\n%s\n", EmitSql(lb_->vocab(), plan.value()).c_str());
   }
 
   void RunQuery(const std::string& command, const std::string& text) {
