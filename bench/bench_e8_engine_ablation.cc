@@ -146,6 +146,12 @@ std::unique_ptr<CwDatabase> MakeJoinHeavyDb() {
 // bound: the plan cannot beat a batched one-atom check); workload 1 is a
 // universally quantified implication, where the per-image evaluation cost
 // actually differs.
+//
+// RaExecutor's cross-image scratch-table reuse (slot + epoch, see
+// src/lqdb/ra/executor.h) moved these rows ~1.4–1.5x on a single-core
+// Release host: ra-exact/0 3.22ms → 2.14ms, ra-exact/1 18.9ms → 13.3ms,
+// with the exact rows flat — the gap to the batched sweep is now mostly
+// join work, not allocator churn.
 void TheoremOneEngine(benchmark::State& state, const char* engine_name) {
   const bool join_heavy = state.range(0) != 0;
   auto lb = join_heavy ? MakeJoinHeavyDb() : MakeEnumerationHeavyDb();

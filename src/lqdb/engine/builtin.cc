@@ -56,11 +56,17 @@ class ExactEngine : public EngineBase {
   Result<Relation> Answer(const Query& query) override {
     return impl_.Answer(query);
   }
+  Result<Relation> AnswerBound(const BoundQuery& bound) override {
+    return impl_.AnswerBound(bound);
+  }
   Result<bool> Contains(const Query& query, const Tuple& candidate) override {
     return impl_.Contains(query, candidate);
   }
   Result<Relation> PossibleAnswer(const Query& query) override {
     return impl_.PossibleAnswer(query);
+  }
+  Result<Relation> PossibleAnswerBound(const BoundQuery& bound) override {
+    return impl_.PossibleAnswerBound(bound);
   }
   uint64_t last_mappings_examined() const override {
     return impl_.last_mappings_examined();
@@ -80,11 +86,17 @@ class ParallelExactEngine : public EngineBase {
   Result<Relation> Answer(const Query& query) override {
     return impl_.Answer(query);
   }
+  Result<Relation> AnswerBound(const BoundQuery& bound) override {
+    return impl_.AnswerBound(bound);
+  }
   Result<bool> Contains(const Query& query, const Tuple& candidate) override {
     return impl_.Contains(query, candidate);
   }
   Result<Relation> PossibleAnswer(const Query& query) override {
     return impl_.PossibleAnswer(query);
+  }
+  Result<Relation> PossibleAnswerBound(const BoundQuery& bound) override {
+    return impl_.PossibleAnswerBound(bound);
   }
   uint64_t last_mappings_examined() const override {
     return impl_.last_mappings_examined();
@@ -103,11 +115,17 @@ class RaExactEngine : public EngineBase {
   Result<Relation> Answer(const Query& query) override {
     return impl_.Answer(query);
   }
+  Result<Relation> AnswerBound(const BoundQuery& bound) override {
+    return impl_.AnswerBound(bound);
+  }
   Result<bool> Contains(const Query& query, const Tuple& candidate) override {
     return impl_.Contains(query, candidate);
   }
   Result<Relation> PossibleAnswer(const Query& query) override {
     return impl_.PossibleAnswer(query);
+  }
+  Result<Relation> PossibleAnswerBound(const BoundQuery& bound) override {
+    return impl_.PossibleAnswerBound(bound);
   }
   uint64_t last_mappings_examined() const override {
     return impl_.last_mappings_examined();
@@ -224,6 +242,7 @@ void RegisterBuiltinEngines(EngineRegistry* registry) {
     EngineCapabilities caps;
     caps.sound = true;
     caps.polynomial = true;
+    caps.mutates_database = true;  // interns NE/α and snapshots Ph₂ in Make
     must_register(
         "approx", caps,
         [caps](CwDatabase* lb, const EngineOptions& options)

@@ -8,6 +8,14 @@ Result<Relation> QueryEngine::PossibleAnswer(const Query& query) {
                                "' does not answer possibility queries");
 }
 
+Result<Relation> QueryEngine::AnswerBound(const BoundQuery& bound) {
+  return Answer(bound.query());
+}
+
+Result<Relation> QueryEngine::PossibleAnswerBound(const BoundQuery& bound) {
+  return PossibleAnswer(bound.query());
+}
+
 EngineRegistry& EngineRegistry::Global() {
   static EngineRegistry* registry = [] {
     auto* r = new EngineRegistry();

@@ -11,6 +11,7 @@
 
 #include "lqdb/approx/approx.h"
 #include "lqdb/cwdb/cw_database.h"
+#include "lqdb/eval/bound_query.h"
 #include "lqdb/exact/brute.h"
 #include "lqdb/exact/exact.h"
 #include "lqdb/exact/parallel.h"
@@ -34,6 +35,12 @@ struct EngineCapabilities {
   bool polynomial = false;
   /// `PossibleAnswer` is implemented.
   bool supports_possible = false;
+  /// Constructing (or running) the engine mutates the database — the §5
+  /// approximation interns `NE` and α predicates and snapshots `Ph₂` at
+  /// construction. The service layer serializes such engines behind an
+  /// exclusive database lock and rebuilds them per execution so they never
+  /// answer from a stale snapshot.
+  bool mutates_database = false;
 
   /// Sound and complete: computes exactly `Q(LB)`.
   bool exact() const { return sound && complete; }
@@ -65,6 +72,16 @@ class QueryEngine {
 
   /// The engine's answer to `query` — a relation over the constants `C`.
   virtual Result<Relation> Answer(const Query& query) = 0;
+
+  /// `Answer` over a pre-bound query — the prepared-statement path used by
+  /// the service layer. The binding (and the query it borrows) must outlive
+  /// the call and is only read. The default re-enters `Answer` on the
+  /// underlying query; Theorem 1 engines override it to skip re-binding
+  /// (and, for ra-exact, re-compiling).
+  virtual Result<Relation> AnswerBound(const BoundQuery& bound);
+
+  /// `PossibleAnswer` over a pre-bound query (see `AnswerBound`).
+  virtual Result<Relation> PossibleAnswerBound(const BoundQuery& bound);
 
   /// Membership of one candidate tuple in the engine's answer.
   virtual Result<bool> Contains(const Query& query,

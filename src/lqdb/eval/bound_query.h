@@ -64,6 +64,11 @@ class BoundQuery {
   /// The compiled plan; null when compilation has not run or failed.
   const PlanPtr& ra_plan() const { return ra_plan_; }
 
+  /// Whether a compilation outcome (success or cached failure) is recorded;
+  /// a prepared statement with `ra_attempted()` carries everything the
+  /// ra-exact engine needs, so it can skip its own plan-cache lookup.
+  bool ra_attempted() const { return ra_attempted_; }
+
  private:
   explicit BoundQuery(const Query* query) : query_(query) {}
 

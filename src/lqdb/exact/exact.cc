@@ -133,10 +133,14 @@ Result<bool> ExactEvaluator::IsPossible(
 }
 
 Result<Relation> ExactEvaluator::PossibleAnswer(const Query& query) {
-  LQDB_RETURN_IF_ERROR(lb_->Validate());
   LQDB_ASSIGN_OR_RETURN(BoundQuery bound, BoundQuery::Bind(query));
+  return PossibleAnswerBound(bound);
+}
 
-  const size_t arity = query.arity();
+Result<Relation> ExactEvaluator::PossibleAnswerBound(const BoundQuery& bound) {
+  LQDB_RETURN_IF_ERROR(lb_->Validate());
+
+  const size_t arity = bound.arity();
   const ConstId n = static_cast<ConstId>(lb_->num_constants());
 
   // Dual pruning to Answer: candidates start *dead* and every mapping may
@@ -180,10 +184,14 @@ Result<Relation> ExactEvaluator::PossibleAnswer(const Query& query) {
 }
 
 Result<Relation> ExactEvaluator::Answer(const Query& query) {
-  LQDB_RETURN_IF_ERROR(lb_->Validate());
   LQDB_ASSIGN_OR_RETURN(BoundQuery bound, BoundQuery::Bind(query));
+  return AnswerBound(bound);
+}
 
-  const size_t arity = query.arity();
+Result<Relation> ExactEvaluator::AnswerBound(const BoundQuery& bound) {
+  LQDB_RETURN_IF_ERROR(lb_->Validate());
+
+  const size_t arity = bound.arity();
   const ConstId n = static_cast<ConstId>(lb_->num_constants());
 
   // All candidate tuples over C start alive; every mapping prunes.

@@ -85,6 +85,13 @@ class ExactEvaluator {
   /// (§2.1: logical answers are tuples of constants, not domain values).
   Result<Relation> Answer(const Query& query);
 
+  /// As `Answer`, over a query that was already bound — the
+  /// prepared-statement path: the service layer binds (and RA-compiles)
+  /// once per query text and every later execution skips straight to the
+  /// enumeration. The binding (and the query it borrows) must outlive the
+  /// call; the binding is only read, so concurrent sessions may share one.
+  Result<Relation> AnswerBound(const BoundQuery& bound);
+
   /// Membership of one candidate tuple of constants; fills `*counterexample`
   /// (when non-null) if the answer is negative.
   Result<bool> Contains(const Query& query, const Tuple& candidate,
@@ -99,6 +106,9 @@ class ExactEvaluator {
   /// quantifier flipped (∃h instead of ∀h), making this the NP face of the
   /// co-NP problem.
   Result<Relation> PossibleAnswer(const Query& query);
+
+  /// `PossibleAnswer` over a pre-bound query (see `AnswerBound`).
+  Result<Relation> PossibleAnswerBound(const BoundQuery& bound);
 
   /// Membership in the possible answer, with an optional witnessing
   /// mapping (the model where the tuple holds).

@@ -233,12 +233,11 @@ Result<bool> ParallelExactEvaluator::IsPossible(
   return ContainsImpl(query, candidate, /*possible_mode=*/true, witness);
 }
 
-Result<Relation> ParallelExactEvaluator::AnswerImpl(const Query& query,
+Result<Relation> ParallelExactEvaluator::AnswerImpl(const BoundQuery& bound,
                                                     bool possible_mode) {
   LQDB_RETURN_IF_ERROR(lb_->Validate());
-  LQDB_ASSIGN_OR_RETURN(BoundQuery bound, BoundQuery::Bind(query));
 
-  const size_t arity = query.arity();
+  const size_t arity = bound.arity();
   const ConstId n = static_cast<ConstId>(lb_->num_constants());
   const std::vector<Tuple> candidates = AllCandidateTuples(arity, n);
 
@@ -308,11 +307,22 @@ Result<Relation> ParallelExactEvaluator::AnswerImpl(const Query& query,
 }
 
 Result<Relation> ParallelExactEvaluator::Answer(const Query& query) {
-  return AnswerImpl(query, /*possible_mode=*/false);
+  LQDB_ASSIGN_OR_RETURN(BoundQuery bound, BoundQuery::Bind(query));
+  return AnswerImpl(bound, /*possible_mode=*/false);
 }
 
 Result<Relation> ParallelExactEvaluator::PossibleAnswer(const Query& query) {
-  return AnswerImpl(query, /*possible_mode=*/true);
+  LQDB_ASSIGN_OR_RETURN(BoundQuery bound, BoundQuery::Bind(query));
+  return AnswerImpl(bound, /*possible_mode=*/true);
+}
+
+Result<Relation> ParallelExactEvaluator::AnswerBound(const BoundQuery& bound) {
+  return AnswerImpl(bound, /*possible_mode=*/false);
+}
+
+Result<Relation> ParallelExactEvaluator::PossibleAnswerBound(
+    const BoundQuery& bound) {
+  return AnswerImpl(bound, /*possible_mode=*/true);
 }
 
 }  // namespace lqdb

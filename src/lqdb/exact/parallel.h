@@ -73,6 +73,14 @@ class ParallelExactEvaluator {
   /// The certain answer `Q(LB)`; identical to `ExactEvaluator::Answer`.
   Result<Relation> Answer(const Query& query);
 
+  /// `Answer` over a pre-bound query — the prepared-statement path (see
+  /// `ExactEvaluator::AnswerBound`). The binding is only read and must
+  /// outlive the call.
+  Result<Relation> AnswerBound(const BoundQuery& bound);
+
+  /// `PossibleAnswer` over a pre-bound query.
+  Result<Relation> PossibleAnswerBound(const BoundQuery& bound);
+
   /// Membership of one candidate tuple; fills `*counterexample` (when
   /// non-null) with *a* falsifying mapping if the answer is negative.
   Result<bool> Contains(const Query& query, const Tuple& candidate,
@@ -103,7 +111,7 @@ class ParallelExactEvaluator {
  private:
   class Walk;
 
-  Result<Relation> AnswerImpl(const Query& query, bool possible_mode);
+  Result<Relation> AnswerImpl(const BoundQuery& bound, bool possible_mode);
   Result<bool> ContainsImpl(const Query& query, const Tuple& candidate,
                             bool possible_mode,
                             std::optional<Counterexample>* witness);

@@ -63,16 +63,27 @@ Result<BoundQuery> RaExactEvaluator::Prepare(const Query& query) {
 Result<Relation> RaExactEvaluator::Answer(const Query& query) {
   LQDB_RETURN_IF_ERROR(lb_->Validate());
   LQDB_ASSIGN_OR_RETURN(BoundQuery bound, Prepare(query));
+  return AnswerPrepared(bound);
+}
+
+Result<Relation> RaExactEvaluator::AnswerBound(const BoundQuery& bound) {
+  LQDB_RETURN_IF_ERROR(lb_->Validate());
+  if (bound.ra_attempted()) return AnswerPrepared(bound);
+  LQDB_ASSIGN_OR_RETURN(BoundQuery prepared, Prepare(bound.query()));
+  return AnswerPrepared(prepared);
+}
+
+Result<Relation> RaExactEvaluator::AnswerPrepared(const BoundQuery& bound) {
   if (bound.ra_plan() == nullptr) {
     last_used_ra_ = false;
-    Result<Relation> out = fallback_.Answer(query);
+    Result<Relation> out = fallback_.AnswerBound(bound);
     last_mappings_ = fallback_.last_mappings_examined();
     return out;
   }
   last_used_ra_ = true;
   const PlanPtr& plan = bound.ra_plan();
 
-  const size_t arity = query.arity();
+  const size_t arity = bound.arity();
   const ConstId n = static_cast<ConstId>(lb_->num_constants());
 
   // All candidate tuples over C start alive; every mapping prunes. The
@@ -92,7 +103,7 @@ Result<Relation> RaExactEvaluator::Answer(const Query& query) {
       return false;
     }
     ApplyMappingInto(*lb_, h, &image);
-    Result<RaTable> table = exec.Execute(plan);
+    Result<const RaTable*> table = exec.ExecuteView(plan);
     if (!table.ok()) {
       error = table.status();
       return false;
@@ -101,7 +112,7 @@ Result<Relation> RaExactEvaluator::Answer(const Query& query) {
     for (size_t k = 0; k < alive.size(); ++k) {
       const Tuple& c = alive[k];
       for (size_t i = 0; i < arity; ++i) mapped[i] = h[c[i]];
-      if (!table->rel.Contains(mapped)) continue;
+      if (!(*table)->rel.Contains(mapped)) continue;
       if (kept != k) alive[kept] = std::move(alive[k]);
       ++kept;
     }
@@ -144,13 +155,13 @@ Result<bool> RaExactEvaluator::Contains(const Query& query,
       return false;
     }
     ApplyMappingInto(*lb_, h, &image);
-    Result<RaTable> table = exec.Execute(plan);
+    Result<const RaTable*> table = exec.ExecuteView(plan);
     if (!table.ok()) {
       error = table.status();
       return false;
     }
     for (size_t i = 0; i < arity; ++i) mapped[i] = h[candidate[i]];
-    if (!table->rel.Contains(mapped)) {
+    if (!(*table)->rel.Contains(mapped)) {
       contained = false;
       return false;  // first counterexample settles membership
     }
@@ -164,16 +175,28 @@ Result<bool> RaExactEvaluator::Contains(const Query& query,
 Result<Relation> RaExactEvaluator::PossibleAnswer(const Query& query) {
   LQDB_RETURN_IF_ERROR(lb_->Validate());
   LQDB_ASSIGN_OR_RETURN(BoundQuery bound, Prepare(query));
+  return PossiblePrepared(bound);
+}
+
+Result<Relation> RaExactEvaluator::PossibleAnswerBound(
+    const BoundQuery& bound) {
+  LQDB_RETURN_IF_ERROR(lb_->Validate());
+  if (bound.ra_attempted()) return PossiblePrepared(bound);
+  LQDB_ASSIGN_OR_RETURN(BoundQuery prepared, Prepare(bound.query()));
+  return PossiblePrepared(prepared);
+}
+
+Result<Relation> RaExactEvaluator::PossiblePrepared(const BoundQuery& bound) {
   if (bound.ra_plan() == nullptr) {
     last_used_ra_ = false;
-    Result<Relation> out = fallback_.PossibleAnswer(query);
+    Result<Relation> out = fallback_.PossibleAnswerBound(bound);
     last_mappings_ = fallback_.last_mappings_examined();
     return out;
   }
   last_used_ra_ = true;
   const PlanPtr& plan = bound.ra_plan();
 
-  const size_t arity = query.arity();
+  const size_t arity = bound.arity();
   const ConstId n = static_cast<ConstId>(lb_->num_constants());
 
   // Dual pruning to Answer: candidates start dead and every mapping may
@@ -193,7 +216,7 @@ Result<Relation> RaExactEvaluator::PossibleAnswer(const Query& query) {
       return false;
     }
     ApplyMappingInto(*lb_, h, &image);
-    Result<RaTable> table = exec.Execute(plan);
+    Result<const RaTable*> table = exec.ExecuteView(plan);
     if (!table.ok()) {
       error = table.status();
       return false;
@@ -202,7 +225,7 @@ Result<Relation> RaExactEvaluator::PossibleAnswer(const Query& query) {
     for (size_t k = 0; k < pending.size(); ++k) {
       const Tuple& c = pending[k];
       for (size_t i = 0; i < arity; ++i) mapped[i] = h[c[i]];
-      if (table->rel.Contains(mapped)) {
+      if ((*table)->rel.Contains(mapped)) {
         answer.Insert(std::move(pending[k]));
       } else {
         if (kept != k) pending[kept] = std::move(pending[k]);

@@ -32,6 +32,9 @@ namespace lqdb {
 /// printed head + body), so repeated calls — the shell re-running a query,
 /// Contains after Answer — reuse the compiled tree; a cached null marks a
 /// known-uncompilable query so the fallback is taken without recompiling.
+/// A binding that already carries a compilation outcome (a prepared
+/// statement from the service layer, `BoundQuery::ra_attempted()`) skips
+/// the cache entirely.
 class RaExactEvaluator {
  public:
   explicit RaExactEvaluator(const CwDatabase* lb, ExactOptions options = {})
@@ -40,12 +43,21 @@ class RaExactEvaluator {
   /// The answer `Q(LB)` — a relation over the constant symbols `C`.
   Result<Relation> Answer(const Query& query);
 
+  /// `Answer` over a pre-bound query — the prepared-statement path. When
+  /// the binding carries an RA-compilation outcome it is used as-is (plan
+  /// or fallback); otherwise the engine consults its own plan cache. The
+  /// binding is only read and must outlive the call.
+  Result<Relation> AnswerBound(const BoundQuery& bound);
+
   /// Membership of one candidate tuple of constants.
   Result<bool> Contains(const Query& query, const Tuple& candidate);
 
   /// Tuples holding in at least one model of the theory (see
   /// `ExactEvaluator::PossibleAnswer`).
   Result<Relation> PossibleAnswer(const Query& query);
+
+  /// `PossibleAnswer` over a pre-bound query (see `AnswerBound`).
+  Result<Relation> PossibleAnswerBound(const BoundQuery& bound);
 
   /// Mappings examined by the most recent call.
   uint64_t last_mappings_examined() const { return last_mappings_; }
@@ -62,6 +74,11 @@ class RaExactEvaluator {
   /// compiling (and caching the outcome) on a miss. A null `ra_plan()` in
   /// the returned binding means "use the fallback".
   Result<BoundQuery> Prepare(const Query& query);
+
+  /// The Theorem 1 loops over a binding whose compilation outcome is
+  /// settled (`ra_attempted()` or known-uncompilable treated as fallback).
+  Result<Relation> AnswerPrepared(const BoundQuery& bound);
+  Result<Relation> PossiblePrepared(const BoundQuery& bound);
 
   const CwDatabase* lb_;
   ExactOptions options_;

@@ -1,7 +1,6 @@
 #include "lqdb/ra/executor.h"
 
 #include <algorithm>
-#include <cassert>
 #include <utility>
 
 namespace lqdb {
@@ -33,45 +32,60 @@ Tuple KeyOf(const Tuple& t, const std::vector<size_t>& positions) {
   return key;
 }
 
+/// Points `out` at the given schema and empties its relation while keeping
+/// the hash-table buckets when the arity already matches — the core of the
+/// cross-execution reuse.
+void ResetOut(RaTable* out, std::vector<VarId> schema) {
+  const int arity = static_cast<int>(schema.size());
+  out->schema = std::move(schema);
+  if (out->rel.arity() == arity) {
+    out->rel.Clear();
+  } else {
+    out->rel = Relation(arity);
+  }
+}
+
 }  // namespace
 
 Result<RaTable> RaExecutor::Execute(const PlanPtr& plan) {
-  results_.clear();
-  LQDB_RETURN_IF_ERROR(Exec(plan).status());
-  auto it = results_.find(plan.get());
-  RaTable out = std::move(it->second);
-  results_.erase(it);
-  return out;
+  LQDB_ASSIGN_OR_RETURN(const RaTable* root, ExecuteView(plan));
+  return RaTable(root->schema, root->rel);
+}
+
+Result<const RaTable*> RaExecutor::ExecuteView(const PlanPtr& plan) {
+  ++epoch_;
+  return Exec(plan);
 }
 
 Result<const RaTable*> RaExecutor::Exec(const PlanPtr& plan) {
   if (plan == nullptr) return Status::InvalidArgument("null plan");
-  auto it = results_.find(plan.get());
-  if (it != results_.end()) return &it->second;
-  LQDB_ASSIGN_OR_RETURN(RaTable table, ExecNode(*plan));
   // unordered_map never moves elements on rehash, so the reference stays
-  // valid for the lifetime of the memo table.
-  auto [pos, inserted] = results_.emplace(plan.get(), std::move(table));
-  assert(inserted);
-  return &pos->second;
+  // valid while children execute into their own slots.
+  Slot& slot = slots_[plan.get()];
+  if (slot.epoch == epoch_) return &slot.table;
+  LQDB_RETURN_IF_ERROR(ExecNode(*plan, &slot.table));
+  // Stamped only after success: a failed node stays stale and is rebuilt
+  // (not served) if a later execution reaches it again.
+  slot.epoch = epoch_;
+  return &slot.table;
 }
 
-Result<RaTable> RaExecutor::ExecNode(const Plan& plan) {
+Status RaExecutor::ExecNode(const Plan& plan, RaTable* out) {
   switch (plan.kind()) {
-    case PlanKind::kScan: return ExecScan(plan);
-    case PlanKind::kConstTuples: return ExecConstTuples(plan);
-    case PlanKind::kConstCompare: return ExecConstCompare(plan);
-    case PlanKind::kDomainScan: return ExecDomainScan(plan);
-    case PlanKind::kEqDomain: return ExecEqDomain(plan);
-    case PlanKind::kJoin: return ExecJoin(plan);
-    case PlanKind::kAntiJoin: return ExecAntiJoin(plan);
-    case PlanKind::kUnion: return ExecUnion(plan);
-    case PlanKind::kProject: return ExecProject(plan);
+    case PlanKind::kScan: return ExecScan(plan, out);
+    case PlanKind::kConstTuples: return ExecConstTuples(plan, out);
+    case PlanKind::kConstCompare: return ExecConstCompare(plan, out);
+    case PlanKind::kDomainScan: return ExecDomainScan(plan, out);
+    case PlanKind::kEqDomain: return ExecEqDomain(plan, out);
+    case PlanKind::kJoin: return ExecJoin(plan, out);
+    case PlanKind::kAntiJoin: return ExecAntiJoin(plan, out);
+    case PlanKind::kUnion: return ExecUnion(plan, out);
+    case PlanKind::kProject: return ExecProject(plan, out);
   }
   return Status::Internal("unknown plan kind");
 }
 
-Result<RaTable> RaExecutor::ExecScan(const Plan& plan) {
+Status RaExecutor::ExecScan(const Plan& plan, RaTable* out) {
   const Relation& stored = db_->relation(plan.pred());
   const TermList& cols = plan.scan_columns();
 
@@ -86,7 +100,7 @@ Result<RaTable> RaExecutor::ExecScan(const Plan& plan) {
   out_pos.reserve(plan.schema().size());
   for (VarId v : plan.schema()) out_pos.push_back(first_pos.at(v));
 
-  RaTable out(plan.schema(), Relation(static_cast<int>(plan.schema().size())));
+  ResetOut(out, plan.schema());
   for (const Tuple& t : stored.tuples()) {
     bool keep = true;
     for (size_t i = 0; i < cols.size() && keep; ++i) {
@@ -99,45 +113,45 @@ Result<RaTable> RaExecutor::ExecScan(const Plan& plan) {
     if (!keep) continue;
     Tuple row(out_pos.size());
     for (size_t i = 0; i < out_pos.size(); ++i) row[i] = t[out_pos[i]];
-    out.rel.Insert(std::move(row));
+    out->rel.Insert(std::move(row));
   }
-  return out;
+  return Status::OK();
 }
 
-Result<RaTable> RaExecutor::ExecConstTuples(const Plan& plan) {
-  RaTable out(plan.schema(), Relation(static_cast<int>(plan.schema().size())));
+Status RaExecutor::ExecConstTuples(const Plan& plan, RaTable* out) {
+  ResetOut(out, plan.schema());
   for (const auto& row : plan.rows()) {
     Tuple t(row.size());
     for (size_t i = 0; i < row.size(); ++i) {
       t[i] = db_->ConstantValue(row[i]);
     }
-    out.rel.Insert(std::move(t));
+    out->rel.Insert(std::move(t));
   }
-  return out;
+  return Status::OK();
 }
 
-Result<RaTable> RaExecutor::ExecConstCompare(const Plan& plan) {
-  RaTable out({}, Relation(0));
+Status RaExecutor::ExecConstCompare(const Plan& plan, RaTable* out) {
+  ResetOut(out, {});
   if (db_->ConstantValue(plan.compare_lhs()) ==
       db_->ConstantValue(plan.compare_rhs())) {
-    out.rel.Insert({});
+    out->rel.Insert({});
   }
-  return out;
+  return Status::OK();
 }
 
-RaTable RaExecutor::ExecDomainScan(const Plan& plan) {
-  RaTable out(plan.schema(), Relation(1));
-  for (Value v : db_->domain()) out.rel.Insert({v});
-  return out;
+Status RaExecutor::ExecDomainScan(const Plan& plan, RaTable* out) {
+  ResetOut(out, plan.schema());
+  for (Value v : db_->domain()) out->rel.Insert({v});
+  return Status::OK();
 }
 
-RaTable RaExecutor::ExecEqDomain(const Plan& plan) {
-  RaTable out(plan.schema(), Relation(2));
-  for (Value v : db_->domain()) out.rel.Insert({v, v});
-  return out;
+Status RaExecutor::ExecEqDomain(const Plan& plan, RaTable* out) {
+  ResetOut(out, plan.schema());
+  for (Value v : db_->domain()) out->rel.Insert({v, v});
+  return Status::OK();
 }
 
-Result<RaTable> RaExecutor::ExecJoin(const Plan& plan) {
+Status RaExecutor::ExecJoin(const Plan& plan, RaTable* out) {
   LQDB_ASSIGN_OR_RETURN(const RaTable* left, Exec(plan.left()));
   LQDB_ASSIGN_OR_RETURN(const RaTable* right, Exec(plan.right()));
 
@@ -167,7 +181,7 @@ Result<RaTable> RaExecutor::ExecJoin(const Plan& plan) {
     hash[KeyOf(t, build_key)].push_back(&t);
   }
 
-  RaTable out(plan.schema(), Relation(static_cast<int>(plan.schema().size())));
+  ResetOut(out, plan.schema());
   for (const Tuple& p : probe.rel.tuples()) {
     auto it = hash.find(KeyOf(p, probe_key));
     if (it == hash.end()) continue;
@@ -178,13 +192,13 @@ Result<RaTable> RaExecutor::ExecJoin(const Plan& plan) {
       row.reserve(plan.schema().size());
       for (size_t i = 0; i < left->schema.size(); ++i) row.push_back(l[i]);
       for (size_t pos : rextra) row.push_back(r[pos]);
-      out.rel.Insert(std::move(row));
+      out->rel.Insert(std::move(row));
     }
   }
-  return out;
+  return Status::OK();
 }
 
-Result<RaTable> RaExecutor::ExecAntiJoin(const Plan& plan) {
+Status RaExecutor::ExecAntiJoin(const Plan& plan, RaTable* out) {
   LQDB_ASSIGN_OR_RETURN(const RaTable* left, Exec(plan.left()));
   LQDB_ASSIGN_OR_RETURN(const RaTable* right, Exec(plan.right()));
 
@@ -202,14 +216,14 @@ Result<RaTable> RaExecutor::ExecAntiJoin(const Plan& plan) {
     right_keys.insert(KeyOf(t, rkey));
   }
 
-  RaTable out(left->schema, Relation(left->rel.arity()));
+  ResetOut(out, left->schema);
   for (const Tuple& t : left->rel.tuples()) {
-    if (right_keys.count(KeyOf(t, lkey)) == 0) out.rel.Insert(t);
+    if (right_keys.count(KeyOf(t, lkey)) == 0) out->rel.Insert(t);
   }
-  return out;
+  return Status::OK();
 }
 
-Result<RaTable> RaExecutor::ExecUnion(const Plan& plan) {
+Status RaExecutor::ExecUnion(const Plan& plan, RaTable* out) {
   LQDB_ASSIGN_OR_RETURN(const RaTable* left, Exec(plan.left()));
   LQDB_ASSIGN_OR_RETURN(const RaTable* right, Exec(plan.right()));
 
@@ -219,27 +233,28 @@ Result<RaTable> RaExecutor::ExecUnion(const Plan& plan) {
   perm.reserve(left->schema.size());
   for (VarId v : left->schema) perm.push_back(ridx.at(v));
 
-  // Copy (not move out of) the left child: it lives in the memo table and
+  // Copy (not move out of) the left child: it lives in its own slot and
   // other references to the shared node must still see its rows.
-  RaTable out(left->schema, left->rel);
+  ResetOut(out, left->schema);
+  for (const Tuple& t : left->rel.tuples()) out->rel.Insert(t);
   for (const Tuple& t : right->rel.tuples()) {
-    out.rel.Insert(KeyOf(t, perm));
+    out->rel.Insert(KeyOf(t, perm));
   }
-  return out;
+  return Status::OK();
 }
 
-Result<RaTable> RaExecutor::ExecProject(const Plan& plan) {
+Status RaExecutor::ExecProject(const Plan& plan, RaTable* out) {
   LQDB_ASSIGN_OR_RETURN(const RaTable* child, Exec(plan.child()));
   auto cidx = SchemaIndex(child->schema);
   std::vector<size_t> positions;
   positions.reserve(plan.schema().size());
   for (VarId v : plan.schema()) positions.push_back(cidx.at(v));
 
-  RaTable out(plan.schema(), Relation(static_cast<int>(plan.schema().size())));
+  ResetOut(out, plan.schema());
   for (const Tuple& t : child->rel.tuples()) {
-    out.rel.Insert(KeyOf(t, positions));
+    out->rel.Insert(KeyOf(t, positions));
   }
-  return out;
+  return Status::OK();
 }
 
 }  // namespace lqdb

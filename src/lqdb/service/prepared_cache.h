@@ -1,0 +1,119 @@
+#ifndef LQDB_SERVICE_PREPARED_CACHE_H_
+#define LQDB_SERVICE_PREPARED_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "lqdb/eval/bound_query.h"
+#include "lqdb/logic/query.h"
+#include "lqdb/util/result.h"
+
+namespace lqdb {
+
+/// Opaque identifier of a cached prepared query. 0 is never a valid handle,
+/// so it doubles as "not prepared".
+using PreparedHandle = uint64_t;
+
+/// A query prepared once and executed many times: the parsed `Query`
+/// pinned on the heap, its `BoundQuery` binding (which borrows the query by
+/// address, hence the pinning — a `PreparedQuery` is never copied or moved
+/// after `Make`), and, when the body is in the compilable first-order
+/// fragment, the RA plan cached inside the binding. Immutable after
+/// preparation, so any number of sessions may execute one concurrently.
+class PreparedQuery {
+ public:
+  /// Binds `query` in place. `text` is the source text (the cache key);
+  /// `engine` the engine name the statement was prepared under.
+  static Result<std::shared_ptr<PreparedQuery>> Make(std::string text,
+                                                     std::string engine,
+                                                     Query query);
+
+  const std::string& text() const { return text_; }
+  const std::string& engine() const { return engine_; }
+  const Query& query() const { return query_; }
+  const BoundQuery& bound() const { return *bound_; }
+
+  /// For the preparing thread only, before the entry is published to the
+  /// cache (to run `CompileRaPlan`); immutable afterwards.
+  BoundQuery* mutable_bound() { return &*bound_; }
+
+ private:
+  PreparedQuery(std::string text, std::string engine, Query query)
+      : text_(std::move(text)),
+        engine_(std::move(engine)),
+        query_(std::move(query)) {}
+
+  std::string text_;
+  std::string engine_;
+  Query query_;
+  std::optional<BoundQuery> bound_;
+};
+
+/// A mutex-sharded map from (engine, query text) to prepared statements,
+/// shared by every session of a `Service`: N sessions replaying the same
+/// query pay parse + bind + RA-compile once. Handles are dense per shard
+/// and stable for the cache's lifetime (nothing is ever evicted — prepared
+/// statements are small and the key space is the set of distinct query
+/// texts a workload actually runs).
+///
+/// Thread-safe. Insertion is first-writer-wins: when two sessions prepare
+/// the same text concurrently, both end up with the same handle and entry,
+/// and the loser's duplicate is dropped.
+class PreparedCache {
+ public:
+  explicit PreparedCache(size_t num_shards = 8);
+
+  /// Looks up a prepared statement; returns it (filling `*handle`) or null.
+  std::shared_ptr<PreparedQuery> Find(const std::string& engine,
+                                      const std::string& text,
+                                      PreparedHandle* handle) const;
+
+  /// Publishes `entry` under its (engine, text) key. Returns the cached
+  /// entry — `entry` itself when this call won, the earlier winner
+  /// otherwise — and fills `*handle` with its handle. `*inserted` (when
+  /// non-null) reports whether this call published.
+  std::shared_ptr<PreparedQuery> Insert(std::shared_ptr<PreparedQuery> entry,
+                                        PreparedHandle* handle,
+                                        bool* inserted = nullptr);
+
+  /// The statement behind a handle; null for 0, unknown, or foreign
+  /// handles.
+  std::shared_ptr<PreparedQuery> Resolve(PreparedHandle handle) const;
+
+  /// Number of cached statements (sums shard sizes; a snapshot under
+  /// concurrent insertion).
+  size_t size() const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    /// engine + '\n' + text → handle (engine names contain no newline).
+    std::unordered_map<std::string, PreparedHandle> by_key;
+    std::unordered_map<PreparedHandle, std::shared_ptr<PreparedQuery>>
+        by_handle;
+    uint64_t next = 0;  // shard-local dense counter
+  };
+
+  static std::string KeyOf(const std::string& engine, const std::string& text) {
+    return engine + '\n' + text;
+  }
+  size_t ShardOf(const std::string& key) const {
+    return std::hash<std::string>{}(key) % shards_.size();
+  }
+  /// Handles interleave across shards (`raw * num_shards + shard + 1`) so a
+  /// handle alone identifies its shard and 0 stays invalid.
+  PreparedHandle EncodeHandle(size_t shard, uint64_t raw) const {
+    return raw * shards_.size() + shard + 1;
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace lqdb
+
+#endif  // LQDB_SERVICE_PREPARED_CACHE_H_

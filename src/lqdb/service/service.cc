@@ -1,0 +1,219 @@
+#include "lqdb/service/service.h"
+
+#include <utility>
+
+#include "lqdb/logic/parser.h"
+#include "lqdb/ra/compiler.h"
+
+namespace lqdb {
+
+namespace {
+
+/// Join-ordering statistics for the prepare-time RA compile; mirrors the
+/// ra-exact engine's view (image cardinalities are bounded by the logical
+/// database's fact counts and `|C|`).
+RaCardinalities StatsFor(const CwDatabase& lb) {
+  RaCardinalities stats;
+  stats.domain_size = static_cast<double>(lb.num_constants());
+  stats.relation_sizes.assign(lb.vocab().num_predicates(), 0.0);
+  for (PredId p : lb.PredicatesWithFacts()) {
+    stats.relation_sizes[p] = static_cast<double>(lb.facts(p).size());
+  }
+  return stats;
+}
+
+}  // namespace
+
+Service::Service(CwDatabase* db, ServiceOptions options)
+    : db_(db),
+      options_(options),
+      cache_(options.cache_shards),
+      pool_(options.threads > 0 ? options.threads
+                                : ThreadPool::DefaultThreads()) {}
+
+Result<std::shared_ptr<Session>> Service::OpenSession(SessionOptions options) {
+  LQDB_ASSIGN_OR_RETURN(
+      EngineCapabilities caps,
+      EngineRegistry::Global().CapabilitiesOf(options.engine));
+  sessions_opened_.fetch_add(1, std::memory_order_relaxed);
+  return std::shared_ptr<Session>(
+      new Session(this, std::move(options), caps));
+}
+
+ServiceStats Service::stats() const {
+  ServiceStats out;
+  out.prepares = prepares_.load();
+  out.cache_hits = cache_hits_.load();
+  out.cache_misses = cache_misses_.load();
+  out.executions = executions_.load();
+  out.async_executions = async_executions_.load();
+  out.cancelled = cancelled_.load();
+  out.cached_queries = cache_.size();
+  out.sessions_opened = sessions_opened_.load();
+  return out;
+}
+
+Result<std::shared_ptr<PreparedQuery>> Service::PrepareInternal(
+    const std::string& engine, const std::string& text, PreparedInfo* info) {
+  prepares_.fetch_add(1, std::memory_order_relaxed);
+  PreparedHandle handle = 0;
+  if (std::shared_ptr<PreparedQuery> hit = cache_.Find(engine, text,
+                                                       &handle)) {
+    cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    info->handle = handle;
+    info->cache_hit = true;
+    return hit;
+  }
+  cache_misses_.fetch_add(1, std::memory_order_relaxed);
+
+  std::shared_ptr<PreparedQuery> entry;
+  {
+    // Exclusive: parsing interns constants/predicates into the shared
+    // vocabulary, and the compiler reads the fact counts.
+    std::unique_lock<std::shared_mutex> db_lock(db_mu_);
+    LQDB_ASSIGN_OR_RETURN(Query query,
+                          ParseQuery(db_->mutable_vocab(), text));
+    LQDB_ASSIGN_OR_RETURN(
+        entry, PreparedQuery::Make(text, engine, std::move(query)));
+    // Compile once at prepare time regardless of engine: ra-exact executes
+    // the plan, and the other engines ignore it. A failed compile (second
+    // order) is cached inside the binding as "use the fallback".
+    const RaCardinalities stats = StatsFor(*db_);
+    Status compile = entry->mutable_bound()->CompileRaPlan(db_->vocab(),
+                                                           &stats);
+    (void)compile;
+  }
+
+  bool inserted = false;
+  entry = cache_.Insert(std::move(entry), &handle, &inserted);
+  info->handle = handle;
+  info->cache_hit = false;  // this caller paid the parse+compile
+  return entry;
+}
+
+Result<PreparedInfo> Session::Prepare(const std::string& text) {
+  PreparedInfo info;
+  LQDB_RETURN_IF_ERROR(
+      service_->PrepareInternal(options_.engine, text, &info).status());
+  prepares_.fetch_add(1, std::memory_order_relaxed);
+  if (info.cache_hit) cache_hits_.fetch_add(1, std::memory_order_relaxed);
+  return info;
+}
+
+Result<Relation> Session::Execute(PreparedHandle handle) {
+  std::shared_ptr<PreparedQuery> pq = service_->cache_.Resolve(handle);
+  if (pq == nullptr) {
+    return Status::NotFound("no prepared query with handle " +
+                            std::to_string(handle));
+  }
+  return Run(*pq, /*possible=*/false);
+}
+
+Result<Relation> Session::ExecutePossible(PreparedHandle handle) {
+  std::shared_ptr<PreparedQuery> pq = service_->cache_.Resolve(handle);
+  if (pq == nullptr) {
+    return Status::NotFound("no prepared query with handle " +
+                            std::to_string(handle));
+  }
+  return Run(*pq, /*possible=*/true);
+}
+
+Result<Relation> Session::Query(const std::string& text) {
+  LQDB_ASSIGN_OR_RETURN(PreparedInfo info, Prepare(text));
+  return Execute(info.handle);
+}
+
+Status Session::EnsureEngine() {
+  if (engine_ready_.load(std::memory_order_acquire)) return Status::OK();
+  // Lock order: database before session execution mutex, everywhere.
+  std::unique_lock<std::shared_mutex> db_lock(service_->db_mu_);
+  std::lock_guard<std::mutex> exec_lock(exec_mu_);
+  if (engine_ready_.load(std::memory_order_relaxed)) return Status::OK();
+  LQDB_ASSIGN_OR_RETURN(engine_, EngineRegistry::Global().Create(
+                                     options_.engine, service_->db_,
+                                     options_.engine_options));
+  engine_ready_.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+Result<Relation> Session::Run(const PreparedQuery& pq, bool possible) {
+  if (caps_.mutates_database) {
+    // A mutating engine (approx) writes the vocabulary at construction and
+    // snapshots Ph₂, so it runs exclusively and is rebuilt per execution —
+    // never answering from a snapshot that predates a later prepare.
+    std::unique_lock<std::shared_mutex> db_lock(service_->db_mu_);
+    std::lock_guard<std::mutex> exec_lock(exec_mu_);
+    LQDB_ASSIGN_OR_RETURN(std::unique_ptr<QueryEngine> engine,
+                          EngineRegistry::Global().Create(
+                              options_.engine, service_->db_,
+                              options_.engine_options));
+    return RunLocked(engine.get(), pq, possible);
+  }
+  LQDB_RETURN_IF_ERROR(EnsureEngine());
+  std::shared_lock<std::shared_mutex> db_lock(service_->db_mu_);
+  std::lock_guard<std::mutex> exec_lock(exec_mu_);
+  return RunLocked(engine_.get(), pq, possible);
+}
+
+Result<Relation> Session::RunLocked(QueryEngine* engine,
+                                    const PreparedQuery& pq, bool possible) {
+  // The previous query's scratch (trace strings) dies here, so a
+  // long-lived session stays at one warm arena block.
+  arena_.Reset();
+  last_trace_ = ExecutionTrace{};
+  last_trace_.query = arena_.CopyString(pq.text().c_str(), pq.text().size());
+  // The engine that actually ran: a handle prepared on another session may
+  // carry a different engine tag, but it executes on *this* session's.
+  last_trace_.engine = arena_.CopyString(options_.engine.c_str(),
+                                         options_.engine.size());
+  last_trace_.possible = possible;
+
+  Result<Relation> out = possible ? engine->PossibleAnswerBound(pq.bound())
+                                  : engine->AnswerBound(pq.bound());
+
+  last_trace_.mappings_examined = engine->last_mappings_examined();
+  last_trace_.ok = out.ok();
+  executions_.fetch_add(1, std::memory_order_relaxed);
+  service_->executions_.fetch_add(1, std::memory_order_relaxed);
+  return out;
+}
+
+Result<AsyncExecution> Session::ExecuteAsync(PreparedHandle handle,
+                                             bool possible) {
+  std::shared_ptr<PreparedQuery> pq = service_->cache_.Resolve(handle);
+  if (pq == nullptr) {
+    return Status::NotFound("no prepared query with handle " +
+                            std::to_string(handle));
+  }
+  if (in_flight_.fetch_add(1, std::memory_order_acq_rel) + 1 >
+      options_.max_in_flight) {
+    in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    return Status::ResourceExhausted(
+        "session has " + std::to_string(options_.max_in_flight) +
+        " executions in flight");
+  }
+  auto cancel = std::make_shared<std::atomic<bool>>(false);
+  // The task owns a shared_ptr to the session, so a session dropped by its
+  // client stays alive until its queued executions drain.
+  std::shared_ptr<Session> self = shared_from_this();
+  AsyncExecution out;
+  out.cancel = cancel;
+  out.result =
+      service_->pool_.Async([self, pq, possible, cancel]() -> Result<Relation> {
+        struct SlotGuard {
+          Session* s;
+          ~SlotGuard() { s->in_flight_.fetch_sub(1, std::memory_order_acq_rel); }
+        } guard{self.get()};
+        if (cancel->load()) {
+          self->cancelled_.fetch_add(1, std::memory_order_relaxed);
+          self->service_->cancelled_.fetch_add(1, std::memory_order_relaxed);
+          return Status::Cancelled("execution cancelled before it started");
+        }
+        self->service_->async_executions_.fetch_add(1,
+                                                    std::memory_order_relaxed);
+        return self->Run(*pq, possible);
+      });
+  return out;
+}
+
+}  // namespace lqdb

@@ -1,0 +1,240 @@
+#ifndef LQDB_SERVICE_SERVICE_H_
+#define LQDB_SERVICE_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+
+#include "lqdb/cwdb/cw_database.h"
+#include "lqdb/engine/engine.h"
+#include "lqdb/relational/relation.h"
+#include "lqdb/service/prepared_cache.h"
+#include "lqdb/util/arena.h"
+#include "lqdb/util/result.h"
+#include "lqdb/util/thread_pool.h"
+
+namespace lqdb {
+
+class Service;
+class Session;
+
+struct ServiceOptions {
+  /// Worker threads of the shared async executor; 0 means hardware
+  /// concurrency.
+  int threads = 0;
+  /// Mutex shards of the prepared-query cache.
+  size_t cache_shards = 8;
+};
+
+/// Service-wide counters, all monotone since construction.
+struct ServiceStats {
+  uint64_t prepares = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t executions = 0;
+  uint64_t async_executions = 0;
+  uint64_t cancelled = 0;
+  size_t cached_queries = 0;
+  size_t sessions_opened = 0;
+};
+
+struct SessionOptions {
+  /// Registry name of the engine this session evaluates with.
+  std::string engine = "exact";
+  /// Construction knobs forwarded to the engine factory.
+  EngineOptions engine_options;
+  /// Cap on queued-or-running `ExecuteAsync` calls per session; one more
+  /// fails with `ResourceExhausted` until a slot frees up.
+  int max_in_flight = 4;
+};
+
+/// Outcome of preparing a query on a session.
+struct PreparedInfo {
+  PreparedHandle handle = 0;
+  /// Whether the statement came from the shared cache (no parse, bind or
+  /// RA-compile ran).
+  bool cache_hit = false;
+};
+
+/// What the session's most recent execution did. The strings live in the
+/// session's per-query arena: valid until the next execution begins.
+struct ExecutionTrace {
+  const char* query = nullptr;
+  const char* engine = nullptr;
+  uint64_t mappings_examined = 0;
+  bool possible = false;
+  bool ok = false;
+};
+
+/// A ticket for one in-flight `ExecuteAsync`. `Cancel` is best-effort: it
+/// withdraws the execution only if no worker has started it yet (the task
+/// then resolves to `StatusCode::kCancelled`); once running, the execution
+/// completes normally.
+struct AsyncExecution {
+  std::future<Result<Relation>> result;
+  std::shared_ptr<std::atomic<bool>> cancel;
+
+  void Cancel() { cancel->store(true); }
+};
+
+/// One client's conversation with a `Service`: an engine choice plus
+/// per-session options, a lazily built engine instance, a per-query
+/// scratch arena reset when each execution completes, and execution
+/// counters. Sessions are the unit of concurrency — any number may execute
+/// simultaneously against the shared database, while calls *within* one
+/// session serialize on its execution mutex (engines keep per-call state
+/// such as `last_mappings_examined` and are not internally thread-safe).
+///
+/// Obtained from `Service::OpenSession` and kept alive by `shared_ptr`;
+/// async executions extend the session's lifetime until they finish, but
+/// sessions must not outlive their service.
+class Session : public std::enable_shared_from_this<Session> {
+ public:
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Parses, binds and RA-compiles `text` — or returns the cached
+  /// statement when any session already prepared it for this engine.
+  Result<PreparedInfo> Prepare(const std::string& text);
+
+  /// Runs a prepared statement on this session's engine; `NotFound` for a
+  /// handle the service never issued.
+  Result<Relation> Execute(PreparedHandle handle);
+
+  /// As `Execute` for the possible answer (tuples holding in at least one
+  /// model); `Unimplemented` when the engine does not support it.
+  Result<Relation> ExecutePossible(PreparedHandle handle);
+
+  /// One-shot convenience: `Prepare` + `Execute`.
+  Result<Relation> Query(const std::string& text);
+
+  /// Schedules the execution on the service's shared pool and returns a
+  /// future plus a cancellation flag. At most `max_in_flight` per session;
+  /// the next call fails with `ResourceExhausted`.
+  Result<AsyncExecution> ExecuteAsync(PreparedHandle handle,
+                                      bool possible = false);
+
+  const SessionOptions& options() const { return options_; }
+  const EngineCapabilities& capabilities() const { return caps_; }
+
+  /// Counters for this session only.
+  uint64_t executions() const { return executions_.load(); }
+  uint64_t prepares() const { return prepares_.load(); }
+  uint64_t cache_hits() const { return cache_hits_.load(); }
+  uint64_t cancelled() const { return cancelled_.load(); }
+  int in_flight() const { return in_flight_.load(); }
+
+  /// The most recent execution's trace. Stable only while no execution is
+  /// running on this session (single-threaded clients like the shell).
+  const ExecutionTrace& last_trace() const { return last_trace_; }
+
+ private:
+  friend class Service;
+
+  Session(Service* service, SessionOptions options, EngineCapabilities caps)
+      : service_(service), options_(std::move(options)), caps_(caps) {}
+
+  /// Builds the engine on first use. Two-phase so the fast path is one
+  /// acquire load: creation happens under the database lock (factories may
+  /// read the database) and the session's execution mutex, and the ready
+  /// flag is published last.
+  Status EnsureEngine();
+
+  /// Locks (database shared or, for a mutating engine, exclusive — always
+  /// *before* the execution mutex) and runs one execution.
+  Result<Relation> Run(const PreparedQuery& pq, bool possible);
+  Result<Relation> RunLocked(QueryEngine* engine, const PreparedQuery& pq,
+                             bool possible);
+
+  Service* service_;
+  SessionOptions options_;
+  EngineCapabilities caps_;
+
+  /// Serializes executions within this session; always acquired after the
+  /// service's database lock.
+  std::mutex exec_mu_;
+  std::unique_ptr<QueryEngine> engine_;
+  std::atomic<bool> engine_ready_{false};
+
+  /// Per-query scratch, reset when each execution completes (deeb's
+  /// arena-per-query model). Guarded by `exec_mu_`.
+  MemArena arena_;
+  ExecutionTrace last_trace_;
+
+  std::atomic<int> in_flight_{0};
+  std::atomic<uint64_t> executions_{0};
+  std::atomic<uint64_t> prepares_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> cancelled_{0};
+};
+
+/// The query service: many concurrent sessions over one logical database,
+/// sharing a prepared-statement cache and an async executor pool.
+///
+/// Thread-safety contract. The database is logically immutable while the
+/// service exists, but two operations physically write it and are
+/// serialized behind an internal reader/writer lock: preparing a new
+/// statement (parsing interns names into the vocabulary) and running an
+/// engine whose capabilities say `mutates_database` (the §5 approximation
+/// interns NE/α predicates — such engines also run exclusively and are
+/// rebuilt per execution so they never answer from a stale snapshot).
+/// Everything else — cache hits, executions on non-mutating engines —
+/// proceeds under a shared lock, so N sessions executing prepared
+/// statements never contend beyond the engines' own work.
+///
+/// The service must outlive its sessions; its destructor drains the pool,
+/// so pending async executions finish (or resolve as cancelled) first.
+class Service {
+ public:
+  /// Borrows `db`, which must outlive the service. The database should not
+  /// be touched directly while the service exists.
+  explicit Service(CwDatabase* db, ServiceOptions options = {});
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Creates a session; fails (`NotFound`) for an unregistered engine
+  /// name. Engine construction itself is deferred to the first execution.
+  Result<std::shared_ptr<Session>> OpenSession(SessionOptions options = {});
+
+  const CwDatabase& db() const { return *db_; }
+  int threads() const { return pool_.num_threads(); }
+
+  ServiceStats stats() const;
+
+ private:
+  friend class Session;
+
+  /// The shared prepare path (see `Session::Prepare`).
+  Result<std::shared_ptr<PreparedQuery>> PrepareInternal(
+      const std::string& engine, const std::string& text, PreparedInfo* info);
+
+  CwDatabase* db_;
+  ServiceOptions options_;
+
+  /// Guards the database: shared for executions, exclusive for parsing and
+  /// for mutating engines. Acquired before any session's `exec_mu_`.
+  mutable std::shared_mutex db_mu_;
+
+  PreparedCache cache_;
+
+  std::atomic<uint64_t> prepares_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> cache_misses_{0};
+  std::atomic<uint64_t> executions_{0};
+  std::atomic<uint64_t> async_executions_{0};
+  std::atomic<uint64_t> cancelled_{0};
+  std::atomic<size_t> sessions_opened_{0};
+
+  /// Declared last: destroyed first, draining queued async executions
+  /// while the cache and counters above are still alive.
+  ThreadPool pool_;
+};
+
+}  // namespace lqdb
+
+#endif  // LQDB_SERVICE_SERVICE_H_

@@ -12,6 +12,7 @@ std::string_view StatusCodeToString(StatusCode code) {
     case StatusCode::kUnimplemented: return "Unimplemented";
     case StatusCode::kInternal: return "Internal";
     case StatusCode::kResourceExhausted: return "ResourceExhausted";
+    case StatusCode::kCancelled: return "Cancelled";
   }
   return "Unknown";
 }

@@ -20,6 +20,7 @@ enum class StatusCode {
   kUnimplemented,     ///< Feature intentionally out of scope (e.g. unsafe query for RA).
   kInternal,          ///< Invariant violation inside the library (a bug).
   kResourceExhausted, ///< Configured search/enumeration limit exceeded.
+  kCancelled,         ///< Caller withdrew the request before it ran.
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -56,6 +57,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -4,6 +4,8 @@
 #include <condition_variable>
 #include <deque>
 #include <functional>
+#include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -30,6 +32,21 @@ class ThreadPool {
 
   /// Enqueues a task for execution on some worker.
   void Submit(std::function<void()> task);
+
+  /// Enqueues a value-returning task and exposes its result as a future —
+  /// the task-submission face of the pool (the service layer schedules
+  /// per-query executions through it), alongside the data-parallel
+  /// `FanOut`. The future's `get()` rethrows nothing: tasks are expected to
+  /// return `Status`/`Result` values rather than throw.
+  template <typename Fn>
+  auto Async(Fn&& fn) -> std::future<decltype(fn())> {
+    using R = decltype(fn());
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> future = task->get_future();
+    Submit([task] { (*task)(); });
+    return future;
+  }
 
   /// Blocks until every task submitted so far has completed.
   void Wait();

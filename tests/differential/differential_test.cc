@@ -17,6 +17,7 @@
 
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "lqdb/approx/approx.h"
@@ -24,7 +25,9 @@
 #include "lqdb/exact/brute.h"
 #include "lqdb/exact/exact.h"
 #include "lqdb/logic/classify.h"
+#include "lqdb/logic/printer.h"
 #include "lqdb/relational/relation.h"
+#include "lqdb/service/service.h"
 #include "tests/differential/generator.h"
 #include "tests/testing.h"
 
@@ -384,6 +387,123 @@ TEST(DifferentialTest, SkewedProfileRaExactAgreesOnAllInstances) {
     EXPECT_EQ(ra_possible, exact_possible)
         << AnswerDiff(*instance.db, "ra-exact", ra_possible, "exact",
                       exact_possible);
+  }
+}
+
+/// The multi-session dimension: K = 8 concurrent service sessions — mixed
+/// engines, including the mutating approximation and the parallel engine —
+/// each replaying the same prepared statement through the shared cache,
+/// must produce answers bit-identical to a sequential replay of the exact
+/// same call sequence on a fresh copy of the instance. Constant ids are
+/// deterministic in (seed, profile), so the relations are comparable
+/// across instance copies. Runs under TSan in CI, where it also serves as
+/// the data-race probe for the service's locking discipline.
+TEST(DifferentialTest, ConcurrentSessionsMatchSequentialReplay) {
+  struct SessionSpec {
+    const char* engine;
+    int threads;
+  };
+  const SessionSpec specs[] = {
+      {"exact", 1},          {"ra-exact", 1}, {"parallel-exact", 2},
+      {"brute", 1},          {"exact", 1},    {"ra-exact", 1},
+      {"parallel-exact", 2}, {"approx", 1},
+  };
+  constexpr size_t kSessions = sizeof(specs) / sizeof(specs[0]);
+  constexpr int kRounds = 3;
+
+  // One session's Prepare + Execute (async, through the shared pool, in
+  // the concurrent phase; synchronous in the replay — same code path
+  // underneath, so the answers must not differ).
+  auto run_async = [](Session& session, const std::string& text,
+                      bool possible) -> Result<Relation> {
+    auto info = session.Prepare(text);
+    if (!info.ok()) return info.status();
+    auto async = session.ExecuteAsync(info->handle, possible);
+    if (!async.ok()) return async.status();
+    return async->result.get();
+  };
+  auto run_sync = [](Session& session, const std::string& text,
+                     bool possible) -> Result<Relation> {
+    auto info = session.Prepare(text);
+    if (!info.ok()) return info.status();
+    return possible ? session.ExecutePossible(info->handle)
+                    : session.Execute(info->handle);
+  };
+  auto open = [](Service& service, const SessionSpec& spec) {
+    SessionOptions options;
+    options.engine = spec.engine;
+    options.engine_options.threads = spec.threads;
+    options.max_in_flight = 2;
+    return service.OpenSession(std::move(options)).value();
+  };
+
+  const InstanceProfile profiles[] = {InstanceProfile::kTiny,
+                                      InstanceProfile::kSmall,
+                                      InstanceProfile::kBinary};
+  for (InstanceProfile profile : profiles) {
+    for (uint64_t seed = 0; seed < 3; ++seed) {
+      DifferentialInstance instance = MakeInstance(seed, profile);
+      SCOPED_TRACE(Describe(instance));
+      const std::string text =
+          PrintQuery(instance.db->vocab(), instance.query);
+
+      // Concurrent phase: one thread per session against one service.
+      std::vector<std::vector<Result<Relation>>> concurrent(kSessions);
+      {
+        Service service(instance.db.get());
+        std::vector<std::shared_ptr<Session>> sessions;
+        for (size_t i = 0; i < kSessions; ++i) {
+          sessions.push_back(open(service, specs[i]));
+        }
+        std::vector<std::thread> threads;
+        for (size_t i = 0; i < kSessions; ++i) {
+          threads.emplace_back([&, i] {
+            for (int round = 0; round < kRounds; ++round) {
+              concurrent[i].push_back(
+                  run_async(*sessions[i], text, /*possible=*/false));
+              if (sessions[i]->capabilities().supports_possible) {
+                concurrent[i].push_back(
+                    run_async(*sessions[i], text, /*possible=*/true));
+              }
+            }
+          });
+        }
+        for (std::thread& t : threads) t.join();
+      }
+
+      // Sequential replay: fresh instance copy, fresh service, the same
+      // call sequence one session at a time.
+      DifferentialInstance replay = MakeInstance(seed, profile);
+      Service service(replay.db.get());
+      for (size_t i = 0; i < kSessions; ++i) {
+        SCOPED_TRACE(std::string("session ") + std::to_string(i) + " (" +
+                     specs[i].engine + ")");
+        std::shared_ptr<Session> session = open(service, specs[i]);
+        std::vector<Result<Relation>> expected;
+        for (int round = 0; round < kRounds; ++round) {
+          expected.push_back(run_sync(*session, text, /*possible=*/false));
+          if (session->capabilities().supports_possible) {
+            expected.push_back(run_sync(*session, text, /*possible=*/true));
+          }
+        }
+        ASSERT_EQ(concurrent[i].size(), expected.size());
+        for (size_t j = 0; j < expected.size(); ++j) {
+          SCOPED_TRACE(std::string("call ") + std::to_string(j));
+          ASSERT_EQ(concurrent[i][j].ok(), expected[j].ok())
+              << "concurrent: " << concurrent[i][j].status().ToString()
+              << "\nsequential: " << expected[j].status().ToString();
+          if (!expected[j].ok()) {
+            EXPECT_EQ(concurrent[i][j].status().code(),
+                      expected[j].status().code());
+            continue;
+          }
+          EXPECT_EQ(concurrent[i][j].value(), expected[j].value())
+              << AnswerDiff(*replay.db, "concurrent",
+                            concurrent[i][j].value(), "sequential",
+                            expected[j].value());
+        }
+      }
+    }
   }
 }
 

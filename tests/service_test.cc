@@ -1,0 +1,319 @@
+/// The query service layer: sessions, the shared prepared-statement cache,
+/// async execution with cancellation, and the per-session in-flight limit.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "lqdb/service/service.h"
+#include "tests/testing.h"
+
+namespace lqdb {
+namespace {
+
+using ::lqdb::testing::RandomCwDatabase;
+using ::lqdb::testing::RandomDbParams;
+
+std::unique_ptr<CwDatabase> MurderDb() {
+  auto lb = std::make_unique<CwDatabase>();
+  lb->AddUnknownConstant("Jack");
+  lb->AddKnownConstant("Victoria");
+  lb->AddKnownConstant("Disraeli");
+  Status s = lb->AddFact("MURDERER", {"Jack"});
+  s = lb->AddDistinct("Jack", "Victoria");
+  (void)s;
+  return lb;
+}
+
+/// A database whose canonical-mapping space is large enough that one
+/// execution takes milliseconds — used to keep a 1-thread service busy
+/// while cancellation/backpressure is probed.
+std::unique_ptr<CwDatabase> SlowDb() {
+  RandomDbParams p;
+  p.num_known = 4;
+  p.num_unknown = 5;  // ~13k canonical mappings: ms-scale, not seconds
+  p.num_facts = 10;
+  p.explicit_distinct_p = 0.0;  // no axioms → maximal mapping space
+  return RandomCwDatabase(17, p);
+}
+
+TEST(PreparedCacheTest, SecondPrepareHitsAndAnswersAreIdentical) {
+  auto lb = MurderDb();
+  Service service(lb.get());
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<Session> session,
+                       service.OpenSession());
+
+  const std::string text = "(x) . !MURDERER(x)";
+  ASSERT_OK_AND_ASSIGN(PreparedInfo first, session->Prepare(text));
+  EXPECT_NE(first.handle, PreparedHandle{0});
+  EXPECT_FALSE(first.cache_hit);
+
+  ASSERT_OK_AND_ASSIGN(PreparedInfo second, session->Prepare(text));
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.handle, first.handle);
+
+  // A different session with the same engine shares the statement too.
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<Session> other,
+                       service.OpenSession());
+  ASSERT_OK_AND_ASSIGN(PreparedInfo third, other->Prepare(text));
+  EXPECT_TRUE(third.cache_hit);
+  EXPECT_EQ(third.handle, first.handle);
+
+  ASSERT_OK_AND_ASSIGN(Relation a, session->Execute(first.handle));
+  ASSERT_OK_AND_ASSIGN(Relation b, other->Execute(third.handle));
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(a.size(), 1u);  // {Victoria}: Jack may be Disraeli, not her
+
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.prepares, 3u);
+  EXPECT_EQ(stats.cache_hits, 2u);
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_EQ(stats.cached_queries, 1u);
+  EXPECT_EQ(stats.executions, 2u);
+}
+
+TEST(PreparedCacheTest, HandlesAreScopedByEngine) {
+  auto lb = MurderDb();
+  Service service(lb.get());
+  SessionOptions ra;
+  ra.engine = "ra-exact";
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<Session> exact,
+                       service.OpenSession());
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<Session> raexact,
+                       service.OpenSession(ra));
+
+  const std::string text = "(x) . !MURDERER(x)";
+  ASSERT_OK_AND_ASSIGN(PreparedInfo a, exact->Prepare(text));
+  ASSERT_OK_AND_ASSIGN(PreparedInfo b, raexact->Prepare(text));
+  EXPECT_FALSE(b.cache_hit);  // separate cache entry per engine
+  EXPECT_NE(a.handle, b.handle);
+
+  ASSERT_OK_AND_ASSIGN(Relation ra_answer, raexact->Execute(b.handle));
+  ASSERT_OK_AND_ASSIGN(Relation exact_answer, exact->Execute(a.handle));
+  EXPECT_TRUE(ra_answer == exact_answer);
+}
+
+TEST(ServiceTest, UnknownEngineFailsAtOpenAndBadHandleAtExecute) {
+  auto lb = MurderDb();
+  Service service(lb.get());
+  SessionOptions bad;
+  bad.engine = "frobnicator";
+  auto session = service.OpenSession(bad);
+  ASSERT_FALSE(session.ok());
+  EXPECT_EQ(session.status().code(), StatusCode::kNotFound);
+
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<Session> ok, service.OpenSession());
+  auto missing = ok->Execute(PreparedHandle{987654321});
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(ok->Execute(PreparedHandle{0}).ok());
+}
+
+TEST(ServiceTest, ParseErrorsSurfaceFromPrepare) {
+  auto lb = MurderDb();
+  Service service(lb.get());
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<Session> session,
+                       service.OpenSession());
+  auto bad = session->Prepare("(x . oops");
+  ASSERT_FALSE(bad.ok());
+  // A failed prepare caches nothing.
+  EXPECT_EQ(service.stats().cached_queries, 0u);
+}
+
+TEST(ServiceTest, ExecutionTraceRecordsTheLastQuery) {
+  auto lb = MurderDb();
+  Service service(lb.get());
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<Session> session,
+                       service.OpenSession());
+  ASSERT_OK_AND_ASSIGN(Relation ignored,
+                       session->Query("(x) . !MURDERER(x)"));
+  (void)ignored;
+  const ExecutionTrace& trace = session->last_trace();
+  EXPECT_STREQ(trace.query, "(x) . !MURDERER(x)");
+  EXPECT_STREQ(trace.engine, "exact");
+  EXPECT_TRUE(trace.ok);
+  EXPECT_FALSE(trace.possible);
+  EXPECT_GT(trace.mappings_examined, 0u);
+  EXPECT_EQ(session->executions(), 1u);
+}
+
+TEST(ServiceTest, PossibleAnswerThroughSessions) {
+  auto lb = MurderDb();
+  Service service(lb.get());
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<Session> session,
+                       service.OpenSession());
+  ASSERT_OK_AND_ASSIGN(PreparedInfo info,
+                       session->Prepare("(x) . MURDERER(x)"));
+  ASSERT_OK_AND_ASSIGN(Relation certain, session->Execute(info.handle));
+  ASSERT_OK_AND_ASSIGN(Relation possible,
+                       session->ExecutePossible(info.handle));
+  EXPECT_EQ(certain.size(), 1u);   // {Jack}: h(Jack) is always the murderer
+  EXPECT_EQ(possible.size(), 2u);  // {Jack, Disraeli}; never Victoria
+  for (const Tuple& t : certain.tuples()) {
+    EXPECT_TRUE(possible.Contains(t));  // certain ⊆ possible
+  }
+}
+
+TEST(ServiceTest, AsyncExecutionMatchesSynchronous) {
+  auto lb = MurderDb();
+  Service service(lb.get());
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<Session> session,
+                       service.OpenSession());
+  ASSERT_OK_AND_ASSIGN(PreparedInfo info,
+                       session->Prepare("(x) . !MURDERER(x)"));
+  ASSERT_OK_AND_ASSIGN(Relation sync, session->Execute(info.handle));
+
+  ASSERT_OK_AND_ASSIGN(AsyncExecution async,
+                       session->ExecuteAsync(info.handle));
+  Result<Relation> from_future = async.result.get();
+  ASSERT_TRUE(from_future.ok()) << from_future.status();
+  EXPECT_TRUE(*from_future == sync);
+  EXPECT_EQ(session->in_flight(), 0);
+}
+
+TEST(ServiceTest, CancelBeforeStartResolvesToCancelled) {
+  auto lb = SlowDb();
+  ServiceOptions options;
+  options.threads = 1;  // strict FIFO: the second task cannot jump the first
+  Service service(lb.get(), options);
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<Session> session,
+                       service.OpenSession());
+  ASSERT_OK_AND_ASSIGN(PreparedInfo info,
+                       session->Prepare("(hx) . P0(hx)"));
+
+  ASSERT_OK_AND_ASSIGN(AsyncExecution busy,
+                       session->ExecuteAsync(info.handle));
+  ASSERT_OK_AND_ASSIGN(AsyncExecution doomed,
+                       session->ExecuteAsync(info.handle));
+  doomed.Cancel();  // lands while the worker is still busy with the first
+
+  Result<Relation> first = busy.result.get();
+  EXPECT_TRUE(first.ok()) << first.status();
+  Result<Relation> second = doomed.result.get();
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(session->cancelled(), 1u);
+  EXPECT_EQ(service.stats().cancelled, 1u);
+}
+
+TEST(ServiceTest, InFlightLimitPushesBack) {
+  auto lb = SlowDb();
+  ServiceOptions options;
+  options.threads = 1;
+  Service service(lb.get(), options);
+  SessionOptions limited;
+  limited.max_in_flight = 2;
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<Session> session,
+                       service.OpenSession(limited));
+  ASSERT_OK_AND_ASSIGN(PreparedInfo info,
+                       session->Prepare("(hx) . P0(hx)"));
+
+  ASSERT_OK_AND_ASSIGN(AsyncExecution a, session->ExecuteAsync(info.handle));
+  ASSERT_OK_AND_ASSIGN(AsyncExecution b, session->ExecuteAsync(info.handle));
+  auto rejected = session->ExecuteAsync(info.handle);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+
+  EXPECT_TRUE(a.result.get().ok());
+  EXPECT_TRUE(b.result.get().ok());
+  // Slots freed: the session accepts work again.
+  ASSERT_OK_AND_ASSIGN(AsyncExecution c, session->ExecuteAsync(info.handle));
+  EXPECT_TRUE(c.result.get().ok());
+}
+
+TEST(ServiceTest, MutatingApproxEngineRunsExclusively) {
+  auto lb = MurderDb();
+  Service service(lb.get());
+  SessionOptions approx;
+  approx.engine = "approx";
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<Session> session,
+                       service.OpenSession(approx));
+  EXPECT_TRUE(session->capabilities().mutates_database);
+  // Two executions: the engine is rebuilt each time (fresh Ph₂ snapshot),
+  // and answers stay deterministic.
+  ASSERT_OK_AND_ASSIGN(Relation first, session->Query("(x) . !MURDERER(x)"));
+  ASSERT_OK_AND_ASSIGN(Relation again, session->Query("(x) . !MURDERER(x)"));
+  EXPECT_TRUE(first == again);
+
+  // Soundness: the approximation's answer is contained in the exact one.
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<Session> exact,
+                       service.OpenSession());
+  ASSERT_OK_AND_ASSIGN(Relation truth, exact->Query("(x) . !MURDERER(x)"));
+  for (const Tuple& t : first.tuples()) {
+    EXPECT_TRUE(truth.Contains(t));
+  }
+}
+
+/// Eight sessions on distinct threads hammering two shared prepared
+/// statements; every concurrent answer must equal the sequential one. This
+/// is the in-library face of the multi-session differential test (see
+/// tests/differential/) and the reason service_test runs under TSan in CI.
+TEST(ServiceTest, ConcurrentSessionsMatchSequentialAnswers) {
+  auto lb = MurderDb();
+  Service service(lb.get());
+  const std::vector<std::string> engines = {
+      "exact",          "ra-exact", "parallel-exact", "approx",
+      "exact",          "ra-exact", "physical",       "brute"};
+  const std::vector<std::string> texts = {"(x) . !MURDERER(x)",
+                                          "(x) . MURDERER(x)"};
+
+  // Sequential pass: one session per engine, expected answer per (engine,
+  // query). Also pre-interns every statement so the concurrent phase is
+  // pure cache hits.
+  std::vector<std::vector<Relation>> expected;
+  std::vector<std::vector<PreparedHandle>> handles;
+  for (const std::string& engine : engines) {
+    SessionOptions opts;
+    opts.engine = engine;
+    if (engine == "parallel-exact") opts.engine_options.threads = 2;
+    ASSERT_OK_AND_ASSIGN(std::shared_ptr<Session> session,
+                         service.OpenSession(opts));
+    std::vector<Relation> answers;
+    std::vector<PreparedHandle> hs;
+    for (const std::string& text : texts) {
+      ASSERT_OK_AND_ASSIGN(PreparedInfo info, session->Prepare(text));
+      hs.push_back(info.handle);
+      ASSERT_OK_AND_ASSIGN(Relation r, session->Execute(info.handle));
+      answers.push_back(std::move(r));
+    }
+    expected.push_back(std::move(answers));
+    handles.push_back(std::move(hs));
+  }
+
+  constexpr int kRounds = 10;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (size_t i = 0; i < engines.size(); ++i) {
+    threads.emplace_back([&, i] {
+      SessionOptions opts;
+      opts.engine = engines[i];
+      if (engines[i] == "parallel-exact") opts.engine_options.threads = 2;
+      Result<std::shared_ptr<Session>> session = service.OpenSession(opts);
+      if (!session.ok()) {
+        mismatches.fetch_add(1);
+        return;
+      }
+      for (int round = 0; round < kRounds; ++round) {
+        for (size_t q = 0; q < texts.size(); ++q) {
+          Result<Relation> r = (*session)->Execute(handles[i][q]);
+          if (!r.ok() || !(*r == expected[i][q])) mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.cached_queries,
+            texts.size() * 6u);  // 6 distinct engines prepared
+  EXPECT_GE(stats.executions,
+            engines.size() * texts.size() * (kRounds + 1u));
+}
+
+}  // namespace
+}  // namespace lqdb

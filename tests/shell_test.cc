@@ -229,6 +229,88 @@ exact (x) . !MURDERER(x)
   EXPECT_EQ(hits, 3) << out;
 }
 
+TEST(ShellTest, PrepareExecuteRoundTrip) {
+  std::string out = RunShellScript(R"(unknown Jack
+fact MURDERER(Jack)
+known Victoria
+distinct Jack Victoria
+prepare (x) . !MURDERER(x)
+execute
+prepare (x) . !MURDERER(x)
+execute
+)");
+  EXPECT_EQ(out.find("error:"), std::string::npos) << out;
+  // First prepare compiles, second hits the shared statement cache.
+  EXPECT_NE(out.find("(compiled)"), std::string::npos) << out;
+  EXPECT_NE(out.find("(cache hit)"), std::string::npos) << out;
+  // Both executions return the same certain answer.
+  size_t pos = 0;
+  int hits = 0;
+  while ((pos = out.find("{(Victoria)}", pos)) != std::string::npos) {
+    ++hits;
+    ++pos;
+  }
+  EXPECT_EQ(hits, 2) << out;
+}
+
+TEST(ShellTest, SessionCommandsSwitchEngines) {
+  std::string out = RunShellScript(R"(unknown Jack
+fact MURDERER(Jack)
+known Victoria
+distinct Jack Victoria
+session
+query (x) . !MURDERER(x)
+session new ra-exact
+query (x) . !MURDERER(x)
+session
+session use 0
+query (x) . !MURDERER(x)
+stats
+)");
+  EXPECT_EQ(out.find("error:"), std::string::npos) << out;
+  // Before any query there are no sessions; afterwards both engines list.
+  EXPECT_NE(out.find("no sessions"), std::string::npos) << out;
+  EXPECT_NE(out.find("session #1 (ra-exact) opened and selected"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("session #0 (exact) selected"), std::string::npos)
+      << out;
+  // All three queries (exact, ra-exact, exact again) agree.
+  size_t pos = 0;
+  int hits = 0;
+  while ((pos = out.find("{(Victoria)}", pos)) != std::string::npos) {
+    ++hits;
+    ++pos;
+  }
+  EXPECT_EQ(hits, 3) << out;
+  // `stats` reports the shared cache: the same text prepared for two
+  // engines is two cached statements, and the exact session's second query
+  // was a cache hit.
+  EXPECT_NE(out.find("2 cached queries"), std::string::npos) << out;
+  EXPECT_NE(out.find("sessions opened"), std::string::npos) << out;
+}
+
+TEST(ShellTest, ExecuteRejectsBogusHandles) {
+  std::string out = RunShellScript(R"(known A
+fact P(A)
+execute
+execute 999999
+execute banana
+prepare (x) . P(x)
+execute
+)");
+  // Nothing prepared, an unissued handle, and a non-numeric one: three
+  // errors, then the valid prepared statement still runs.
+  size_t pos = 0;
+  int errors = 0;
+  while ((pos = out.find("error:", pos)) != std::string::npos) {
+    ++errors;
+    ++pos;
+  }
+  EXPECT_EQ(errors, 3) << out;
+  EXPECT_NE(out.find("{(A)}"), std::string::npos) << out;
+}
+
 #ifdef LQDB_TEST_DATA_DIR
 /// Smoke: the checked-in session script touches every shell command; the
 /// whole run must complete without an error or unknown-command line.

@@ -1,10 +1,17 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "lqdb/util/arena.h"
 #include "lqdb/util/interner.h"
 #include "lqdb/util/result.h"
 #include "lqdb/util/rng.h"
 #include "lqdb/util/status.h"
 #include "lqdb/util/table.h"
+#include "lqdb/util/thread_pool.h"
 
 namespace lqdb {
 namespace {
@@ -26,7 +33,8 @@ TEST(StatusTest, ErrorCarriesCodeAndMessage) {
 
 TEST(StatusTest, EveryCodeHasAName) {
   for (StatusCode code :
-       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+       {StatusCode::kOk, StatusCode::kCancelled,
+        StatusCode::kInvalidArgument, StatusCode::kNotFound,
         StatusCode::kAlreadyExists, StatusCode::kFailedPrecondition,
         StatusCode::kUnimplemented, StatusCode::kInternal,
         StatusCode::kResourceExhausted}) {
@@ -128,6 +136,70 @@ TEST(RngTest, DoubleInUnitInterval) {
     EXPECT_GE(d, 0.0);
     EXPECT_LT(d, 1.0);
   }
+}
+
+TEST(MemArenaTest, AllocationsAreAlignedAndCounted) {
+  MemArena arena;
+  void* a = arena.Allocate(3, 1);
+  void* b = arena.Allocate(8, 8);
+  EXPECT_NE(a, nullptr);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(b) % 8, 0u);
+  EXPECT_EQ(arena.bytes_allocated(), 11u);
+  EXPECT_EQ(arena.num_blocks(), 1u);
+  // Zero-byte requests still return a valid pointer.
+  EXPECT_NE(arena.Allocate(0), nullptr);
+}
+
+TEST(MemArenaTest, ResetKeepsOneWarmBlock) {
+  MemArena arena(/*block_bytes=*/64);
+  // Overflow the first block so a second (and an oversized third) chain on.
+  arena.Allocate(60, 1);
+  arena.Allocate(60, 1);
+  arena.Allocate(1000, 1);
+  EXPECT_GE(arena.num_blocks(), 3u);
+  arena.Reset();
+  EXPECT_EQ(arena.num_blocks(), 1u);
+  EXPECT_EQ(arena.bytes_allocated(), 0u);
+  // The warm block is reused: a small allocation adds no block.
+  arena.Allocate(16, 1);
+  EXPECT_EQ(arena.num_blocks(), 1u);
+}
+
+TEST(MemArenaTest, CopyStringNulTerminatesInsideArena) {
+  MemArena arena;
+  const std::string text = "certain answers";
+  const char* copy = arena.CopyString(text.c_str(), text.size());
+  EXPECT_STREQ(copy, "certain answers");
+  EXPECT_NE(static_cast<const void*>(copy),
+            static_cast<const void*>(text.c_str()));
+  arena.Reset();
+  // The same bytes come back out of the warm block after a reset.
+  EXPECT_EQ(static_cast<const void*>(arena.CopyString("x", 1)),
+            static_cast<const void*>(copy));
+}
+
+TEST(ThreadPoolTest, AsyncReturnsFutureValues) {
+  ThreadPool pool(2);
+  std::future<int> f1 = pool.Async([] { return 40 + 2; });
+  std::future<std::string> f2 =
+      pool.Async([]() -> std::string { return "done"; });
+  EXPECT_EQ(f1.get(), 42);
+  EXPECT_EQ(f2.get(), "done");
+}
+
+TEST(ThreadPoolTest, AsyncTasksRunConcurrentlyWithSubmit) {
+  ThreadPool pool(4);
+  std::atomic<int> sum{0};
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(pool.Async([i] { return i; }));
+    pool.Submit([&sum, i] { sum.fetch_add(i); });
+  }
+  int total = 0;
+  for (std::future<int>& f : futures) total += f.get();
+  pool.Wait();
+  EXPECT_EQ(total, 31 * 32 / 2);
+  EXPECT_EQ(sum.load(), 31 * 32 / 2);
 }
 
 TEST(TablePrinterTest, AlignsColumns) {

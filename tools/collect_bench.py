@@ -30,7 +30,9 @@ perf trajectory across PRs can be diffed mechanically:
 
 import argparse
 import json
+import os
 import pathlib
+import platform
 import sys
 
 
@@ -57,7 +59,19 @@ def main() -> int:
         print(f"no *.json files under {json_dir}", file=sys.stderr)
         return 1
 
-    merged = {"context": None, "suites": {}}
+    # Collection-host metadata alongside google-benchmark's own context:
+    # the concurrency benches (bench_e9's session-scaling rows) only
+    # compare meaningfully between hosts with the same core count, and
+    # --diff checks exactly that.
+    merged = {
+        "context": None,
+        "meta": {
+            "hardware_concurrency": os.cpu_count(),
+            "host": platform.node(),
+            "platform": platform.platform(),
+        },
+        "suites": {},
+    }
     for path in inputs:
         try:
             data = json.loads(path.read_text())
@@ -127,6 +141,16 @@ def print_ra_vs_exact(merged: dict) -> None:
                                for cell, width in zip(row, widths)).rstrip())
 
 
+def core_count(snapshot: dict):
+    """The collection host's core count: our own meta block when present,
+    else google-benchmark's context (older snapshots predate "meta")."""
+    meta = snapshot.get("meta") or {}
+    if meta.get("hardware_concurrency") is not None:
+        return meta["hardware_concurrency"]
+    context = snapshot.get("context") or {}
+    return context.get("num_cpus")
+
+
 def print_diff(baseline_path: pathlib.Path, merged: dict) -> None:
     """Prints old-vs-new real_time per benchmark shared with the baseline."""
     try:
@@ -134,6 +158,14 @@ def print_diff(baseline_path: pathlib.Path, merged: dict) -> None:
     except (OSError, json.JSONDecodeError) as err:
         print(f"cannot diff against {baseline_path}: {err}", file=sys.stderr)
         return
+
+    old_cores, new_cores = core_count(baseline), core_count(merged)
+    if old_cores is not None and new_cores is not None \
+            and old_cores != new_cores:
+        print(f"WARNING: core-count mismatch: baseline {baseline_path} was "
+              f"collected on {old_cores} cores, this snapshot on "
+              f"{new_cores} — concurrency rows (session scaling, parallel "
+              f"engines) are not comparable", file=sys.stderr)
 
     old = snapshot_times(baseline)
     new = snapshot_times(merged)

@@ -1,26 +1,32 @@
 // lqdb_shell — an interactive front end for CW logical databases.
 //
 // Loads a database in the lqdb text format (see src/lqdb/io/text_format.h)
-// and answers queries with any engine in the registry:
+// and answers queries as a thin client of the query service
+// (src/lqdb/service/service.h): every query command prepares a statement
+// through the service's shared cache and executes it asynchronously on a
+// session, so the shell exercises the same code path a concurrent client
+// would:
 //
 //     $ lqdb_shell mydb.lqdb
 //     lqdb> exact (x) . !MURDERER(x)
 //     {(Victoria)}
-//     lqdb> set engine parallel-exact
-//     lqdb> set threads 4
-//     lqdb> query (x) . !MURDERER(x)
-//     {(Victoria)}
+//     lqdb> prepare (x) . MURDERER(x)
+//     prepared #1 (compiled)
+//     lqdb> execute
+//     {(Jack)}
 //
 // Run `help` inside the shell for the command list. A script path may be
 // passed as argv[1]; with `--batch` the shell exits at end of input
 // instead of switching to stdin.
 #include <climits>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "lqdb/approx/approx.h"
 #include "lqdb/cwdb/cw_database.h"
@@ -34,6 +40,7 @@
 #include "lqdb/logic/printer.h"
 #include "lqdb/ra/compiler.h"
 #include "lqdb/ra/sql.h"
+#include "lqdb/service/service.h"
 
 namespace lqdb {
 namespace {
@@ -55,6 +62,10 @@ bool ParseStrictUint(const std::string& token, unsigned long long* out) {
   return true;
 }
 
+unsigned long long Ull(uint64_t v) {
+  return static_cast<unsigned long long>(v);
+}
+
 constexpr const char* kHelp = R"(commands:
   load FILE              load a database (lqdb text format)
   save FILE              write the database back to disk
@@ -68,7 +79,13 @@ constexpr const char* kHelp = R"(commands:
   possible QUERY         tuples holding in at least one model
   approx QUERY           sound polynomial approximation (Section 5)
   physical QUERY         naive evaluation over Ph1 (ignores nulls!)
-  query QUERY            evaluate with the currently selected engine
+  query QUERY            evaluate with the currently selected session
+  prepare QUERY          parse+bind+compile once; prints a statement handle
+  execute [N]            run a prepared statement (default: last prepared)
+  session                list open sessions (* marks the selected one)
+  session new [ENGINE]   open and select a session (default: current engine)
+  session use N          route query/prepare/execute through session N
+  stats                  service and per-session counters
   engines                list registered engines and their capabilities
   set engine NAME        select the engine used by `query`
   set threads N          worker threads for parallel engines (0 = hardware)
@@ -104,8 +121,8 @@ class Shell {
       if (!loaded.ok()) {
         Report(loaded.status());
       } else {
+        ResetService();
         lb_ = std::move(loaded).value();
-        engine_cache_.reset();
         std::printf("loaded %zu constants, %zu facts, %zu explicit axioms\n",
                     lb_->num_constants(), lb_->NumFacts(),
                     lb_->explicit_distinct().size());
@@ -124,8 +141,8 @@ class Shell {
       if (!merged.ok()) {
         Report(merged.status());
       } else {
+        ResetService();
         lb_ = std::move(merged).value();
-        engine_cache_.reset();
       }
     } else if (cmd == "known" || cmd == "unknown" || cmd == "distinct") {
       auto merged = ParseCwDatabase(SerializeCwDatabase(*lb_) + "\n" + cmd +
@@ -133,8 +150,8 @@ class Shell {
       if (!merged.ok()) {
         Report(merged.status());
       } else {
+        ResetService();
         lb_ = std::move(merged).value();
-        engine_cache_.reset();
       }
     } else if (cmd == "engines") {
       ListEngines();
@@ -142,6 +159,14 @@ class Shell {
       Explain(rest);
     } else if (cmd == "set") {
       Set(rest);
+    } else if (cmd == "session") {
+      SessionCmd(rest);
+    } else if (cmd == "prepare") {
+      Prepare(rest);
+    } else if (cmd == "execute") {
+      Execute(rest);
+    } else if (cmd == "stats") {
+      Stats();
     } else if (cmd == "exact" || cmd == "possible" || cmd == "approx" ||
                cmd == "physical" || cmd == "query" || cmd == "plan") {
       RunQuery(cmd, rest);
@@ -198,6 +223,7 @@ class Shell {
         return;
       }
       engine_name_ = value;
+      current_ = SIZE_MAX;  // back to auto-picking a session by engine
       std::printf("engine = %s\n", engine_name_.c_str());
     } else if (key == "threads") {
       unsigned long long threads = 0;
@@ -207,6 +233,7 @@ class Shell {
         return;
       }
       options_.threads = static_cast<int>(threads);
+      current_ = SIZE_MAX;
       std::printf("threads = %d\n", options_.threads);
     } else if (key == "max_mappings") {
       unsigned long long max = 0;
@@ -217,6 +244,7 @@ class Shell {
       }
       options_.exact.max_mappings = max;
       options_.brute.max_mappings = max;
+      current_ = SIZE_MAX;
       std::printf("max_mappings = %llu\n", max);
     } else {
       Report(Status::InvalidArgument(
@@ -266,13 +294,9 @@ class Shell {
   }
 
   void RunQuery(const std::string& command, const std::string& text) {
-    auto query = ParseQuery(lb_->mutable_vocab(), text);
-    if (!query.ok()) {
-      Report(query.status());
-      return;
-    }
-    PhysicalDatabase ph1 = MakePh1(*lb_);
     if (command == "plan") {
+      auto query = ParseQuery(lb_->mutable_vocab(), text);
+      if (!query.ok()) return Report(query.status());
       auto approx = ApproxEvaluator::Make(lb_.get());
       if (!approx.ok()) return Report(approx.status());
       auto tq = approx.value()->Transform(query.value());
@@ -285,44 +309,193 @@ class Shell {
       std::printf("SQL:\n%s\n", EmitSql(lb_->vocab(), plan.value()).c_str());
       return;
     }
-    QueryEngine* engine = CachedEngine(EngineFor(command));
-    if (engine == nullptr) return;  // creation error already reported
-    auto answer = command == "possible"
-                      ? engine->PossibleAnswer(query.value())
-                      : engine->Answer(query.value());
+    Session* session = command == "query" ? CurrentSession()
+                                          : SessionFor(EngineFor(command));
+    if (session == nullptr) return;  // open error already reported
+    auto info = session->Prepare(text);
+    if (!info.ok()) return Report(info.status());
+    last_handle_ = info->handle;
+    // Ph1 after Prepare: parsing may have interned constants the answer
+    // printer needs names for.
+    PhysicalDatabase ph1 = MakePh1(*lb_);
+    auto async = session->ExecuteAsync(info->handle, command == "possible");
+    if (!async.ok()) return Report(async.status());
+    auto answer = async->result.get();
     if (!answer.ok()) return Report(answer.status());
     std::printf("%s\n", AnswerToString(ph1, answer.value()).c_str());
   }
 
-  /// Engines are cached across query commands so a parallel engine's
-  /// thread pool survives from one query to the next; the cache is dropped
-  /// whenever the database or the engine settings change. The approx
-  /// engine is the exception: its construction snapshots the database
-  /// (building Ph₂ over the current vocabulary), so it is rebuilt per
-  /// query exactly as the pre-registry shell did.
-  QueryEngine* CachedEngine(const std::string& name) {
-    const std::string key =
-        name + "/" + std::to_string(options_.threads) + "/" +
-        std::to_string(options_.exact.max_mappings);
-    if (engine_cache_ != nullptr && engine_cache_key_ == key &&
-        name != "approx") {
-      return engine_cache_.get();
+  /// `session` / `session new [ENGINE]` / `session use N`.
+  void SessionCmd(const std::string& rest) {
+    std::istringstream in(rest);
+    std::string sub, arg;
+    in >> sub >> arg;
+    if (sub.empty()) {
+      if (sessions_.empty()) {
+        std::printf("no sessions (one opens on the first query)\n");
+        return;
+      }
+      for (size_t i = 0; i < sessions_.size(); ++i) {
+        const Session& s = *sessions_[i];
+        std::printf(
+            "%c #%zu %-16s threads=%d prepares=%llu executions=%llu\n",
+            i == current_ ? '*' : ' ', i, s.options().engine.c_str(),
+            s.options().engine_options.threads, Ull(s.prepares()),
+            Ull(s.executions()));
+      }
+    } else if (sub == "new") {
+      const std::string engine = arg.empty() ? engine_name_ : arg;
+      if (OpenNewSession(engine) == nullptr) return;
+      current_ = sessions_.size() - 1;
+      std::printf("session #%zu (%s) opened and selected\n", current_,
+                  engine.c_str());
+    } else if (sub == "use") {
+      unsigned long long n = 0;
+      if (!ParseStrictUint(arg, &n) || n >= sessions_.size()) {
+        Report(Status::InvalidArgument(
+            "session use expects an index listed by 'session'"));
+        return;
+      }
+      current_ = static_cast<size_t>(n);
+      std::printf("session #%zu (%s) selected\n", current_,
+                  sessions_[current_]->options().engine.c_str());
+    } else {
+      Report(Status::InvalidArgument(
+          "session expects no argument, 'new [ENGINE]' or 'use N'"));
     }
-    auto engine = EngineRegistry::Global().Create(name, lb_.get(), options_);
-    if (!engine.ok()) {
-      Report(engine.status());
+  }
+
+  void Prepare(const std::string& text) {
+    Session* session = CurrentSession();
+    if (session == nullptr) return;
+    auto info = session->Prepare(text);
+    if (!info.ok()) return Report(info.status());
+    last_handle_ = info->handle;
+    std::printf("prepared #%llu (%s)\n", Ull(info->handle),
+                info->cache_hit ? "cache hit" : "compiled");
+  }
+
+  void Execute(const std::string& rest) {
+    std::istringstream in(rest);
+    std::string arg;
+    in >> arg;
+    PreparedHandle handle = last_handle_;
+    if (!arg.empty()) {
+      unsigned long long n = 0;
+      if (!ParseStrictUint(arg, &n)) {
+        Report(Status::InvalidArgument(
+            "execute expects a handle printed by 'prepare'"));
+        return;
+      }
+      handle = n;
+    }
+    if (handle == 0) {
+      Report(Status::InvalidArgument(
+          "nothing prepared yet; run 'prepare QUERY' first"));
+      return;
+    }
+    Session* session = CurrentSession();
+    if (session == nullptr) return;
+    PhysicalDatabase ph1 = MakePh1(*lb_);
+    auto async = session->ExecuteAsync(handle);
+    if (!async.ok()) return Report(async.status());
+    auto answer = async->result.get();
+    if (!answer.ok()) return Report(answer.status());
+    std::printf("%s\n", AnswerToString(ph1, answer.value()).c_str());
+  }
+
+  void Stats() {
+    if (service_ == nullptr) {
+      std::printf("service not started (no queries yet)\n");
+      return;
+    }
+    ServiceStats s = service_->stats();
+    std::printf(
+        "service: %d pool threads, %zu sessions opened, %zu cached queries\n"
+        "prepares: %llu (%llu hits, %llu misses)\n"
+        "executions: %llu (%llu async, %llu cancelled)\n",
+        service_->threads(), s.sessions_opened, s.cached_queries,
+        Ull(s.prepares), Ull(s.cache_hits), Ull(s.cache_misses),
+        Ull(s.executions), Ull(s.async_executions), Ull(s.cancelled));
+    for (size_t i = 0; i < sessions_.size(); ++i) {
+      const Session& session = *sessions_[i];
+      std::printf("%c #%zu %-16s prepares=%llu hits=%llu executions=%llu\n",
+                  i == current_ ? '*' : ' ', i,
+                  session.options().engine.c_str(), Ull(session.prepares()),
+                  Ull(session.cache_hits()), Ull(session.executions()));
+      const ExecutionTrace& trace = session.last_trace();
+      if (trace.query != nullptr) {
+        std::printf("      last: %s  [%s, %llu mappings, %s]\n", trace.query,
+                    trace.engine, Ull(trace.mappings_examined),
+                    trace.ok ? "ok" : "failed");
+      }
+    }
+  }
+
+  /// The database changed shape, so every prepared statement (bound
+  /// against the old vocabulary) and session engine is stale: drop the
+  /// whole service. A fresh one spins up lazily on the next query.
+  void ResetService() {
+    sessions_.clear();
+    service_.reset();
+    current_ = SIZE_MAX;
+    last_handle_ = 0;
+  }
+
+  Service& Svc() {
+    if (service_ == nullptr) {
+      service_ = std::make_unique<Service>(lb_.get());
+    }
+    return *service_;
+  }
+
+  Session* OpenNewSession(const std::string& engine) {
+    SessionOptions opts;
+    opts.engine = engine;
+    opts.engine_options = options_;
+    auto session = Svc().OpenSession(std::move(opts));
+    if (!session.ok()) {
+      Report(session.status());
       return nullptr;
     }
-    engine_cache_ = std::move(engine).value();
-    engine_cache_key_ = key;
-    return engine_cache_.get();
+    sessions_.push_back(std::move(session).value());
+    return sessions_.back().get();
+  }
+
+  /// The session a command routes to: an existing one matching `engine`
+  /// and the shell's current knobs, else a newly opened one. Sessions are
+  /// kept (and listed by `session`) so an engine's state — a parallel
+  /// engine's thread pool, warmed executor scratch — survives across
+  /// commands the way the old per-shell engine cache did.
+  Session* SessionFor(const std::string& engine) {
+    for (size_t i = 0; i < sessions_.size(); ++i) {
+      const SessionOptions& o = sessions_[i]->options();
+      if (o.engine == engine && o.engine_options.threads == options_.threads &&
+          o.engine_options.exact.max_mappings ==
+              options_.exact.max_mappings) {
+        return sessions_[i].get();
+      }
+    }
+    return OpenNewSession(engine);
+  }
+
+  /// `query`/`prepare`/`execute` go to the session pinned by `session use`
+  /// (while valid), else to one matching the selected engine.
+  Session* CurrentSession() {
+    if (current_ < sessions_.size()) return sessions_[current_].get();
+    return SessionFor(engine_name_);
   }
 
   std::unique_ptr<CwDatabase> lb_;
   std::string engine_name_ = "exact";
   EngineOptions options_;
-  std::unique_ptr<QueryEngine> engine_cache_;
-  std::string engine_cache_key_;
+
+  /// The shell is a service client: `service_` borrows `lb_` and is
+  /// declared after it (destroyed first).
+  std::unique_ptr<Service> service_;
+  std::vector<std::shared_ptr<Session>> sessions_;
+  size_t current_ = SIZE_MAX;  // SIZE_MAX: auto-pick by engine
+  PreparedHandle last_handle_ = 0;
 };
 
 int Run(int argc, char** argv) {
