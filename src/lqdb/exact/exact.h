@@ -20,6 +20,11 @@ struct ExactOptions {
   /// unknown values (Theorem 5), so callers opt into how much work a query
   /// may burn.
   uint64_t max_mappings = 10'000'000;
+  /// Join-order enumeration cap for the compiled RA path (see
+  /// `RaCardinalities::dp_join_cap`): conjunctions up to this many positive
+  /// conjuncts get DP ordering, larger ones the greedy pass; 0 disables
+  /// the DP. Shell knob: `set join_cap <n>`.
+  size_t ra_dp_join_cap = 10;
   EvalOptions eval;
 };
 

@@ -16,13 +16,14 @@ namespace {
 /// h-images of the fact sets and the image domain is `h(C)`, so the fact
 /// counts and `|C|` upper-bound (and in the canonical identity mapping,
 /// equal) the per-image cardinalities the plan will see.
-RaCardinalities StatsFor(const CwDatabase& lb) {
+RaCardinalities StatsFor(const CwDatabase& lb, const ExactOptions& options) {
   RaCardinalities stats;
   stats.domain_size = static_cast<double>(lb.num_constants());
   stats.relation_sizes.assign(lb.vocab().num_predicates(), 0.0);
   for (PredId p : lb.PredicatesWithFacts()) {
     stats.relation_sizes[p] = static_cast<double>(lb.facts(p).size());
   }
+  stats.dp_join_cap = options.ra_dp_join_cap;
   return stats;
 }
 
@@ -40,9 +41,26 @@ std::string CacheKey(const Vocabulary& vocab, const Query& query) {
 
 }  // namespace
 
+const ReducedPlan& RaExactEvaluator::ReducedFor(const PlanPtr& plan) {
+  auto it = reduced_cache_.find(plan.get());
+  if (it != reduced_cache_.end()) return it->second;
+  ReducedPlan entry;
+  Result<ReducedPlan> red = SemijoinReduce(plan);
+  if (red.ok()) {
+    entry = std::move(*red);
+  } else {
+    entry.plan = plan;  // null param → the sweeps run the plan unreduced
+  }
+  return reduced_cache_.emplace(plan.get(), std::move(entry)).first->second;
+}
+
 Result<BoundQuery> RaExactEvaluator::Prepare(const Query& query) {
   LQDB_ASSIGN_OR_RETURN(BoundQuery bound, BoundQuery::Bind(query));
-  const std::string key = CacheKey(lb_->vocab(), query);
+  // The join-order cap shapes the compiled plan, so it is part of the
+  // cache identity — changing the knob mid-session must not serve plans
+  // ordered under the old cap.
+  const std::string key = CacheKey(lb_->vocab(), query) +
+                          "#cap=" + std::to_string(options_.ra_dp_join_cap);
   auto it = plan_cache_.find(key);
   if (it != plan_cache_.end()) {
     if (it->second != nullptr) {
@@ -53,7 +71,7 @@ Result<BoundQuery> RaExactEvaluator::Prepare(const Query& query) {
     }
     return bound;
   }
-  const RaCardinalities stats = StatsFor(*lb_);
+  const RaCardinalities stats = StatsFor(*lb_, options_);
   Status s = bound.CompileRaPlan(lb_->vocab(), &stats);
   (void)s;  // a failed compile leaves ra_plan() null → fallback path
   plan_cache_.emplace(key, bound.ra_plan());
@@ -81,21 +99,23 @@ Result<Relation> RaExactEvaluator::AnswerPrepared(const BoundQuery& bound) {
     return out;
   }
   last_used_ra_ = true;
-  const PlanPtr& plan = bound.ra_plan();
+  const ReducedPlan& red = ReducedFor(bound.ra_plan());
 
   const size_t arity = bound.arity();
   const ConstId n = static_cast<ConstId>(lb_->num_constants());
 
   // All candidate tuples over C start alive; every mapping prunes. The
   // compiled plan projects to the head order, so `Q(image)` membership of
-  // the mapped candidate is one hash lookup.
+  // the mapped candidate is one hash lookup — and the semijoin-reduced
+  // plan only materializes rows matching the still-alive candidates, so
+  // the per-image work shrinks as the sweep converges.
   std::vector<Tuple> alive = AllCandidateTuples(arity, n);
 
   Status error = Status::OK();
   uint64_t examined = 0;
   PhysicalDatabase image(&lb_->vocab());
   RaExecutor exec(&image);
-  Tuple mapped(arity);
+  std::vector<Value> cand;
   ForEachCanonicalMapping(*lb_, [&](const ConstMapping& h) {
     if (++examined > options_.max_mappings) {
       error = Status::ResourceExhausted(
@@ -103,16 +123,22 @@ Result<Relation> RaExactEvaluator::AnswerPrepared(const BoundQuery& bound) {
       return false;
     }
     ApplyMappingInto(*lb_, h, &image);
-    Result<const RaTable*> table = exec.ExecuteView(plan);
+    cand.resize(alive.size() * arity);
+    for (size_t k = 0; k < alive.size(); ++k) {
+      const Tuple& c = alive[k];
+      for (size_t i = 0; i < arity; ++i) cand[k * arity + i] = h[c[i]];
+    }
+    if (red.param != nullptr) {
+      exec.BindParam(red.param.get(), cand.data(), alive.size());
+    }
+    Result<const RaTableView*> table = exec.ExecuteView(red.plan);
     if (!table.ok()) {
       error = table.status();
       return false;
     }
     size_t kept = 0;
     for (size_t k = 0; k < alive.size(); ++k) {
-      const Tuple& c = alive[k];
-      for (size_t i = 0; i < arity; ++i) mapped[i] = h[c[i]];
-      if (!(*table)->rel.Contains(mapped)) continue;
+      if (!(*table)->rows.Contains(cand.data() + k * arity)) continue;
       if (kept != k) alive[kept] = std::move(alive[k]);
       ++kept;
     }
@@ -139,7 +165,7 @@ Result<bool> RaExactEvaluator::Contains(const Query& query,
     return out;
   }
   last_used_ra_ = true;
-  const PlanPtr& plan = bound.ra_plan();
+  const ReducedPlan& red = ReducedFor(bound.ra_plan());
 
   const size_t arity = query.arity();
   bool contained = true;
@@ -147,7 +173,10 @@ Result<bool> RaExactEvaluator::Contains(const Query& query,
   uint64_t examined = 0;
   PhysicalDatabase image(&lb_->vocab());
   RaExecutor exec(&image);
-  Tuple mapped(arity);
+  // A single-candidate sweep is where the reduction bites hardest: every
+  // scan is filtered down to rows matching the one mapped tuple before any
+  // join runs.
+  std::vector<Value> cand(arity);
   ForEachCanonicalMapping(*lb_, [&](const ConstMapping& h) {
     if (++examined > options_.max_mappings) {
       error = Status::ResourceExhausted(
@@ -155,13 +184,16 @@ Result<bool> RaExactEvaluator::Contains(const Query& query,
       return false;
     }
     ApplyMappingInto(*lb_, h, &image);
-    Result<const RaTable*> table = exec.ExecuteView(plan);
+    for (size_t i = 0; i < arity; ++i) cand[i] = h[candidate[i]];
+    if (red.param != nullptr) {
+      exec.BindParam(red.param.get(), cand.data(), 1);
+    }
+    Result<const RaTableView*> table = exec.ExecuteView(red.plan);
     if (!table.ok()) {
       error = table.status();
       return false;
     }
-    for (size_t i = 0; i < arity; ++i) mapped[i] = h[candidate[i]];
-    if (!(*table)->rel.Contains(mapped)) {
+    if (!(*table)->rows.Contains(cand.data())) {
       contained = false;
       return false;  // first counterexample settles membership
     }
@@ -194,7 +226,7 @@ Result<Relation> RaExactEvaluator::PossiblePrepared(const BoundQuery& bound) {
     return out;
   }
   last_used_ra_ = true;
-  const PlanPtr& plan = bound.ra_plan();
+  const ReducedPlan& red = ReducedFor(bound.ra_plan());
 
   const size_t arity = bound.arity();
   const ConstId n = static_cast<ConstId>(lb_->num_constants());
@@ -208,7 +240,7 @@ Result<Relation> RaExactEvaluator::PossiblePrepared(const BoundQuery& bound) {
   uint64_t examined = 0;
   PhysicalDatabase image(&lb_->vocab());
   RaExecutor exec(&image);
-  Tuple mapped(arity);
+  std::vector<Value> cand;
   ForEachCanonicalMapping(*lb_, [&](const ConstMapping& h) {
     if (++examined > options_.max_mappings) {
       error = Status::ResourceExhausted(
@@ -216,16 +248,22 @@ Result<Relation> RaExactEvaluator::PossiblePrepared(const BoundQuery& bound) {
       return false;
     }
     ApplyMappingInto(*lb_, h, &image);
-    Result<const RaTable*> table = exec.ExecuteView(plan);
+    cand.resize(pending.size() * arity);
+    for (size_t k = 0; k < pending.size(); ++k) {
+      const Tuple& c = pending[k];
+      for (size_t i = 0; i < arity; ++i) cand[k * arity + i] = h[c[i]];
+    }
+    if (red.param != nullptr) {
+      exec.BindParam(red.param.get(), cand.data(), pending.size());
+    }
+    Result<const RaTableView*> table = exec.ExecuteView(red.plan);
     if (!table.ok()) {
       error = table.status();
       return false;
     }
     size_t kept = 0;
     for (size_t k = 0; k < pending.size(); ++k) {
-      const Tuple& c = pending[k];
-      for (size_t i = 0; i < arity; ++i) mapped[i] = h[c[i]];
-      if ((*table)->rel.Contains(mapped)) {
+      if ((*table)->rows.Contains(cand.data() + k * arity)) {
         answer.Insert(std::move(pending[k]));
       } else {
         if (kept != k) pending[kept] = std::move(pending[k]);

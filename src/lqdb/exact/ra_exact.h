@@ -4,11 +4,13 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <unordered_map>
 #include <utility>
 
 #include "lqdb/cwdb/cw_database.h"
 #include "lqdb/exact/exact.h"
 #include "lqdb/ra/plan.h"
+#include "lqdb/ra/semijoin.h"
 #include "lqdb/relational/relation.h"
 #include "lqdb/util/result.h"
 
@@ -80,6 +82,13 @@ class RaExactEvaluator {
   Result<Relation> AnswerPrepared(const BoundQuery& bound);
   Result<Relation> PossiblePrepared(const BoundQuery& bound);
 
+  /// The semijoin-reduced form of a compiled plan (cached per plan node —
+  /// the sweeps only ever need membership of the surviving candidates, so
+  /// they run the reduced plan with the candidate set bound to `param`).
+  /// A null `param` (arity-0 plan, or reduction failed) means "run the
+  /// original plan unreduced".
+  const ReducedPlan& ReducedFor(const PlanPtr& plan);
+
   const CwDatabase* lb_;
   ExactOptions options_;
   ExactEvaluator fallback_;
@@ -87,6 +96,9 @@ class RaExactEvaluator {
   bool last_used_ra_ = false;
   /// Query identity → compiled plan; null = known uncompilable.
   std::map<std::string, PlanPtr> plan_cache_;
+  /// Compiled plan → its semijoin reduction (keyed by node identity; the
+  /// plan cache keeps the nodes alive for the evaluator's lifetime).
+  std::unordered_map<const Plan*, ReducedPlan> reduced_cache_;
 };
 
 }  // namespace lqdb

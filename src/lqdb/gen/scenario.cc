@@ -1,0 +1,89 @@
+#include "lqdb/gen/scenario.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lqdb/util/rng.h"
+
+namespace lqdb {
+
+std::unique_ptr<CwDatabase> MakeScenario(uint64_t seed,
+                                         const ScenarioParams& params) {
+  Rng rng(seed);
+  auto lb = std::make_unique<CwDatabase>();
+  std::vector<ConstId> known;
+  std::vector<ConstId> unknown;
+  for (int i = 0; i < params.num_known; ++i) {
+    known.push_back(lb->AddKnownConstant("k" + std::to_string(i)));
+  }
+  for (int i = 0; i < params.num_unknown; ++i) {
+    unknown.push_back(lb->AddUnknownConstant("u" + std::to_string(i)));
+  }
+  auto pick = [&]() -> ConstId {
+    if (!unknown.empty() && rng.Chance(params.unknown_ref_rate)) {
+      return unknown[rng.Below(unknown.size())];
+    }
+    return known[rng.Below(known.size())];
+  };
+  std::vector<std::pair<PredId, int>> preds;  // (id, arity)
+  for (int i = 0; i < params.num_unary; ++i) {
+    preds.emplace_back(lb->AddPredicate("P" + std::to_string(i), 1).value(),
+                       1);
+  }
+  for (int i = 0; i < params.num_binary; ++i) {
+    preds.emplace_back(lb->AddPredicate("R" + std::to_string(i), 2).value(),
+                       2);
+  }
+  for (const auto& [pred, arity] : preds) {
+    for (int f = 0; f < params.facts_per_relation; ++f) {
+      Tuple t;
+      for (int j = 0; j < arity; ++j) t.push_back(pick());
+      (void)lb->AddFact(pred, std::move(t));  // duplicates collapse
+    }
+  }
+  // Explicit uniqueness axioms on pairs touching unknowns, mirroring the
+  // differential generator so the mapping space is a quotient, not full
+  // Bell mass.
+  const ConstId n = static_cast<ConstId>(lb->num_constants());
+  for (ConstId a = 0; a < n; ++a) {
+    for (ConstId b = a + 1; b < n; ++b) {
+      if (lb->IsKnown(a) && lb->IsKnown(b)) continue;
+      if (rng.Chance(params.distinct_pair_rate)) {
+        (void)lb->AddDistinct(a, b);
+      }
+    }
+  }
+  return lb;
+}
+
+std::vector<std::string> ScenarioQueryPool(const ScenarioParams& params) {
+  std::vector<std::string> pool;
+  if (params.num_unary >= 1) {
+    pool.push_back("(x) . P0(x)");
+  }
+  if (params.num_binary >= 1) {
+    pool.push_back("(x) . exists y. R0(x, y)");
+  }
+  if (params.num_unary >= 1 && params.num_binary >= 1) {
+    // Guarded universal: the per-image check is a join + anti-join.
+    pool.push_back("(x) . forall y. R0(x, y) -> P0(y)");
+    // Two-hop chain ending in a unary filter.
+    pool.push_back("(x) . exists y. exists z. R0(x, y) & R0(y, z) & P0(z)");
+  }
+  if (params.num_binary >= 2) {
+    // Three-join chain with a binary head — the row the join-order DP and
+    // the semijoin reduction both get to attack.
+    pool.push_back(
+        "(x, w) . exists y. exists z. R0(x, y) & R1(y, z) & R0(z, w)");
+  }
+  if (params.num_unary >= 2 && params.num_binary >= 2) {
+    // Wide conjunction: five positive conjuncts over four relations.
+    pool.push_back(
+        "(x) . exists y. exists z. "
+        "P0(x) & R0(x, y) & R1(y, z) & P1(z) & R0(z, x)");
+  }
+  return pool;
+}
+
+}  // namespace lqdb

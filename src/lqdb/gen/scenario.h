@@ -1,0 +1,57 @@
+#ifndef LQDB_GEN_SCENARIO_H_
+#define LQDB_GEN_SCENARIO_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lqdb/cwdb/cw_database.h"
+
+namespace lqdb {
+
+/// Parameters for generated large-world scenarios.
+///
+/// The differential corpus in tests/differential works at toy scale (≤ 8
+/// constants, ≤ 8 facts) because its oracle enumerates models. This
+/// generator targets the opposite regime: worlds one to two orders of
+/// magnitude bigger in *relational* volume (constants and facts) while
+/// keeping the number of unknown constants — and hence the canonical-
+/// mapping count, which is exponential in it (Theorem 5) — small. That is
+/// exactly the shape where the per-image inner loop dominates end-to-end
+/// time and the compiled RA path has room to win.
+struct ScenarioParams {
+  /// Known constants `k0..`; the image domain scales with this.
+  int num_known = 64;
+  /// Unknown constants `u0..`; keep small — mappings grow as Bell-like
+  /// numbers in this.
+  int num_unknown = 2;
+  /// Unary predicates `P0..` and binary predicates `R0..`.
+  int num_unary = 2;
+  int num_binary = 2;
+  /// Facts generated per relation (duplicates collapse, so actual table
+  /// sizes come out slightly below this).
+  int facts_per_relation = 256;
+  /// Probability that a fact argument references an unknown constant
+  /// rather than a known one — the knob for how much of the relational
+  /// volume is incomplete information.
+  double unknown_ref_rate = 0.1;
+  /// Probability of an explicit pairwise-distinct axiom on each pair
+  /// touching an unknown (prunes the mapping space).
+  double distinct_pair_rate = 0.05;
+};
+
+/// Builds a scenario database. Deterministic in `(seed, params)`; the
+/// constant and predicate names are fixed (`k<i>`, `u<i>`, `P<i>`, `R<i>`)
+/// so query text written against one seed parses against every seed.
+std::unique_ptr<CwDatabase> MakeScenario(uint64_t seed,
+                                         const ScenarioParams& params);
+
+/// Join-heavy query texts over the scenario schema, from a bare unary scan
+/// up to multi-join chains — the E10 workload. Only emits queries whose
+/// predicates exist under `params`.
+std::vector<std::string> ScenarioQueryPool(const ScenarioParams& params);
+
+}  // namespace lqdb
+
+#endif  // LQDB_GEN_SCENARIO_H_

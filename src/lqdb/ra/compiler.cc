@@ -1,6 +1,10 @@
 #include "lqdb/ra/compiler.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <limits>
+#include <map>
 #include <set>
 #include <utility>
 
@@ -103,7 +107,13 @@ double RaCompiler::Estimate(const PlanPtr& plan) {
       break;
     }
     case PlanKind::kAntiJoin:
+    case PlanKind::kSemiJoin:
       est = Estimate(plan->left());  // at most the left side survives
+      break;
+    case PlanKind::kParam:
+      // Bound at runtime with the surviving Theorem 1 candidate set; a
+      // domain's worth of rows is the steady-state order of magnitude.
+      est = domain;
       break;
     case PlanKind::kUnion:
       est = Estimate(plan->left()) + Estimate(plan->right());
@@ -131,12 +141,9 @@ Result<PlanPtr> RaCompiler::CompileAnd(const FormulaPtr& f) {
     }
   }
 
-  // Compile the positive conjuncts, then greedily order the joins by
-  // estimated cardinality: seed the accumulator with the smallest estimated
-  // input, and at every step join the partner that minimizes the estimated
-  // size of the joined accumulator. Partners sharing an attribute with the
-  // accumulated schema win over disconnected ones outright, so Cartesian
-  // products only appear when the join graph is disconnected.
+  // Compile the positive conjuncts, then pick a join order: small
+  // conjunctions get exact DP enumeration over connected subgraphs, large
+  // ones the linear greedy pass (`dp_join_cap` is the cutover).
   std::vector<PlanPtr> plans;
   plans.reserve(positives.size());
   for (const auto& p : positives) {
@@ -144,6 +151,44 @@ Result<PlanPtr> RaCompiler::CompileAnd(const FormulaPtr& f) {
     plans.push_back(std::move(plan));
   }
 
+  PlanPtr acc;
+  if (plans.size() == 1) {
+    acc = plans[0];
+  } else if (plans.size() >= 2) {
+    // The DP uses 32-bit subset masks, so it is structurally capped at 20
+    // conjuncts no matter how high the knob is turned.
+    const bool use_dp = plans.size() <= stats_.dp_join_cap &&
+                        plans.size() <= 20;
+    if (use_dp) {
+      LQDB_ASSIGN_OR_RETURN(acc, OrderJoinsDp(plans));
+    } else {
+      LQDB_ASSIGN_OR_RETURN(acc, OrderJoinsGreedy(plans));
+    }
+    JoinOrderInfo info;
+    info.conjuncts = plans.size();
+    info.used_dp = use_dp;
+    info.estimated_rows = Estimate(acc);
+    join_order_log_.push_back(info);
+  }
+  if (acc == nullptr) {
+    LQDB_ASSIGN_OR_RETURN(acc, DomainProduct(all_free));
+  } else {
+    LQDB_ASSIGN_OR_RETURN(acc, PadTo(std::move(acc), all_free));
+  }
+  for (const auto& n : negatives) {
+    LQDB_ASSIGN_OR_RETURN(PlanPtr plan, CompileFormula(n));
+    LQDB_ASSIGN_OR_RETURN(acc,
+                          Plan::AntiJoin(std::move(acc), std::move(plan)));
+  }
+  return acc;
+}
+
+Result<PlanPtr> RaCompiler::OrderJoinsGreedy(const std::vector<PlanPtr>& plans) {
+  // Seed the accumulator with the smallest estimated input, then at every
+  // step join the partner that minimizes the estimated size of the joined
+  // accumulator. Partners sharing an attribute with the accumulated schema
+  // win over disconnected ones outright, so Cartesian products only appear
+  // when the join graph is disconnected.
   const double domain = std::max(1.0, stats_.domain_size);
   PlanPtr acc;
   double acc_est = 1.0;
@@ -177,17 +222,165 @@ Result<PlanPtr> RaCompiler::CompileAnd(const FormulaPtr& f) {
       acc_est = pick_est;
     }
   }
-  if (acc == nullptr) {
-    LQDB_ASSIGN_OR_RETURN(acc, DomainProduct(all_free));
-  } else {
-    LQDB_ASSIGN_OR_RETURN(acc, PadTo(std::move(acc), all_free));
+  return acc;
+}
+
+Result<PlanPtr> RaCompiler::OrderJoinsDp(const std::vector<PlanPtr>& plans) {
+  // DPsub over the conjunct join graph (conjuncts are vertices, shared
+  // variables edges), kuzu-style but sized for Theorem 1 workloads: for
+  // every connected subset S the best cost[S] is the cheapest way to
+  // produce S from a *connected* split S1 ⊎ S2 with an edge between the
+  // halves, under the C_out cost model (cost = Σ estimated intermediate
+  // sizes). Cross products therefore never appear inside a connected
+  // component; disconnected components are combined afterwards, smallest
+  // estimate first. Deterministic: subsets ascend numerically and ties
+  // keep the first winner.
+  const size_t n = plans.size();
+  const uint32_t full = static_cast<uint32_t>((1ull << n) - 1);
+  const double domain = std::max(1.0, stats_.domain_size);
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  auto lowest_index = [](uint32_t mask) {
+    size_t i = 0;
+    while (!(mask & (1u << i))) ++i;
+    return i;
+  };
+
+  // Which conjuncts carry each variable, then the adjacency masks.
+  std::map<VarId, uint32_t> var_occ;
+  for (size_t i = 0; i < n; ++i) {
+    for (VarId v : plans[i]->schema()) var_occ[v] |= 1u << i;
   }
-  for (const auto& n : negatives) {
-    LQDB_ASSIGN_OR_RETURN(PlanPtr plan, CompileFormula(n));
-    LQDB_ASSIGN_OR_RETURN(acc,
-                          Plan::AntiJoin(std::move(acc), std::move(plan)));
+  std::vector<uint32_t> adj(n, 0);
+  for (const auto& [v, occ] : var_occ) {
+    for (size_t i = 0; i < n; ++i) {
+      if (occ & (1u << i)) adj[i] |= occ;
+    }
+  }
+  for (size_t i = 0; i < n; ++i) adj[i] &= ~(1u << i);
+
+  // Estimated size of every subset, built incrementally: joining conjunct
+  // i into the rest R keeps one 1/|domain| factor per variable of i that R
+  // already carries — the same independence model as `Estimate(kJoin)`.
+  std::vector<double> sest(static_cast<size_t>(full) + 1, 1.0);
+  for (uint32_t s = 1; s <= full; ++s) {
+    const size_t i = lowest_index(s);
+    const uint32_t rest = s & (s - 1);
+    double e = sest[rest] * Estimate(plans[i]);
+    if (rest != 0) {
+      for (VarId v : plans[i]->schema()) {
+        if (var_occ[v] & rest) e /= domain;
+      }
+    }
+    sest[s] = e;
+  }
+
+  std::vector<double> cost(static_cast<size_t>(full) + 1, kInf);
+  std::vector<uint32_t> split(static_cast<size_t>(full) + 1, 0);
+  for (size_t i = 0; i < n; ++i) cost[1u << i] = 0.0;
+
+  // Connected components of the join graph.
+  std::vector<uint32_t> comps;
+  {
+    uint32_t seen = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (seen & (1u << i)) continue;
+      uint32_t comp = 1u << i;
+      for (;;) {
+        uint32_t grown = comp;
+        for (size_t j = 0; j < n; ++j) {
+          if (comp & (1u << j)) grown |= adj[j];
+        }
+        if (grown == comp) break;
+        comp = grown;
+      }
+      seen |= comp;
+      comps.push_back(comp);
+    }
+  }
+
+  for (const uint32_t comp : comps) {
+    // Ascending submask enumeration: every proper submask of s is
+    // numerically smaller, so both halves of a split are already final.
+    for (uint32_t s = (0u - comp) & comp; s != 0; s = (s - comp) & comp) {
+      if ((s & (s - 1)) == 0) {
+        if (s == comp) break;
+        continue;  // singleton
+      }
+      const uint32_t low = s & (0u - s);
+      double best = kInf;
+      uint32_t best_split = 0;
+      // Canonical splits: the half holding s's lowest conjunct is s1.
+      for (uint32_t s1 = (s - 1) & s; s1 != 0; s1 = (s1 - 1) & s) {
+        if (!(s1 & low)) continue;
+        const uint32_t s2 = s ^ s1;
+        if (cost[s1] == kInf || cost[s2] == kInf) continue;
+        bool touch = false;
+        for (size_t i = 0; i < n && !touch; ++i) {
+          if (s1 & (1u << i)) touch = (adj[i] & s2) != 0;
+        }
+        if (!touch) continue;
+        const double c = cost[s1] + cost[s2] + sest[s];
+        if (c < best) {
+          best = c;
+          best_split = s1;
+        }
+      }
+      cost[s] = best;
+      split[s] = best_split;
+      if (s == comp) break;
+    }
+    // A connected component always has a connected split chain; if the
+    // model ever disagrees, fall back to the greedy order rather than
+    // fail the compile.
+    if (cost[comp] == kInf) return OrderJoinsGreedy(plans);
+  }
+
+  std::function<Result<PlanPtr>(uint32_t)> build =
+      [&](uint32_t s) -> Result<PlanPtr> {
+    if ((s & (s - 1)) == 0) return plans[lowest_index(s)];
+    // C_out is symmetric in the two halves, so put the smaller estimated
+    // side on the left — the convention the greedy pass establishes (and
+    // tests pin); the executor picks the build side by actual size anyway.
+    uint32_t s1 = split[s];
+    uint32_t s2 = s ^ split[s];
+    if (sest[s2] < sest[s1]) std::swap(s1, s2);
+    LQDB_ASSIGN_OR_RETURN(PlanPtr l, build(s1));
+    LQDB_ASSIGN_OR_RETURN(PlanPtr r, build(s2));
+    return Plan::Join(std::move(l), std::move(r));
+  };
+
+  // Combine components ascending by estimated size (stable on ties), so
+  // the unavoidable cross products multiply small intermediates first.
+  std::stable_sort(comps.begin(), comps.end(),
+                   [&](uint32_t a, uint32_t b) { return sest[a] < sest[b]; });
+  PlanPtr acc;
+  for (const uint32_t comp : comps) {
+    LQDB_ASSIGN_OR_RETURN(PlanPtr part, build(comp));
+    if (acc == nullptr) {
+      acc = std::move(part);
+    } else {
+      LQDB_ASSIGN_OR_RETURN(acc, Plan::Join(std::move(acc), std::move(part)));
+    }
   }
   return acc;
+}
+
+std::string RaCompiler::AnnotatePlan(const PlanPtr& plan) {
+  std::string out;
+  std::function<void(const PlanPtr&, int)> walk = [&](const PlanPtr& p,
+                                                      int indent) {
+    out.append(static_cast<size_t>(indent) * 2, ' ');
+    out += p->NodeLabel(*vocab_);
+    char est[32];
+    std::snprintf(est, sizeof(est), "%.3g", Estimate(p));
+    out += "  ~";
+    out += est;
+    out += " rows\n";
+    for (const auto& c : p->children()) walk(c, indent + 1);
+  };
+  walk(plan, 0);
+  return out;
 }
 
 Result<PlanPtr> RaCompiler::CompileOr(const FormulaPtr& f) {

@@ -24,11 +24,27 @@ struct RaCardinalities {
   /// beyond the vector fall back to `default_relation_size`.
   std::vector<double> relation_sizes;
   double default_relation_size = 8.0;
+  /// Conjunctions with at most this many positive conjuncts get exact
+  /// DP join-order enumeration over connected subgraphs (DPsub with a
+  /// C_out cost model); larger ones fall back to the greedy pass. The
+  /// DP is exponential in the conjunct count, so the cap bounds compile
+  /// time; 0 disables the DP entirely.
+  size_t dp_join_cap = 10;
 
   double RelationSize(PredId pred) const {
     if (pred < relation_sizes.size()) return relation_sizes[pred];
     return default_relation_size;
   }
+};
+
+/// One join-ordering decision taken while compiling a query (one entry per
+/// conjunction of ≥ 2 positive conjuncts, in compile order) — surfaced by
+/// the shell's `explain` so plan regressions are eyeballable.
+struct JoinOrderInfo {
+  size_t conjuncts = 0;
+  bool used_dp = false;
+  /// Estimated row count of the fully joined conjunction.
+  double estimated_rows = 0.0;
 };
 
 /// Compiles first-order queries into relational-algebra plans under
@@ -66,6 +82,19 @@ class RaCompiler {
   /// Compiles a formula; the plan's schema is the formula's free variables.
   Result<PlanPtr> CompileFormula(const FormulaPtr& f);
 
+  /// Estimated output cardinality of `plan` under the compiler's
+  /// statistics (public for `explain`-style plan annotation).
+  double EstimatePlan(const PlanPtr& plan) { return Estimate(plan); }
+
+  /// Indented plan dump annotated with per-node cardinality estimates
+  /// (`~N rows`), for the shell's `explain`.
+  std::string AnnotatePlan(const PlanPtr& plan);
+
+  /// Join-ordering decisions recorded by the `Compile*` calls so far.
+  const std::vector<JoinOrderInfo>& join_order_log() const {
+    return join_order_log_;
+  }
+
  private:
   Result<PlanPtr> CompileEquals(const FormulaPtr& f);
   Result<PlanPtr> CompileAnd(const FormulaPtr& f);
@@ -95,9 +124,19 @@ class RaCompiler {
   /// node (shared DAG subplans are estimated once).
   double Estimate(const PlanPtr& plan);
 
+  /// Joins `plans` (≥ 2 positive conjuncts) into one tree. `OrderJoinsDp`
+  /// runs DPsub join-order enumeration restricted to connected splits —
+  /// cross products only between connected components, which are combined
+  /// smallest-estimate first. `OrderJoinsGreedy` is the linear fallback:
+  /// seed with the smallest input, then repeatedly join the
+  /// minimum-estimate partner, connected partners first.
+  Result<PlanPtr> OrderJoinsDp(const std::vector<PlanPtr>& plans);
+  Result<PlanPtr> OrderJoinsGreedy(const std::vector<PlanPtr>& plans);
+
   const Vocabulary* vocab_;
   RaCardinalities stats_;
   std::unordered_map<PlanPtr, double> estimate_cache_;
+  std::vector<JoinOrderInfo> join_order_log_;
 };
 
 }  // namespace lqdb

@@ -7,252 +7,339 @@ namespace lqdb {
 
 namespace {
 
-/// Positions of each attribute within a schema.
-std::unordered_map<VarId, size_t> SchemaIndex(const std::vector<VarId>& s) {
-  std::unordered_map<VarId, size_t> out;
-  for (size_t i = 0; i < s.size(); ++i) out.emplace(s[i], i);
-  return out;
-}
-
-/// Attributes common to both schemas, in `left` order.
-std::vector<VarId> SharedAttrs(const std::vector<VarId>& left,
-                               const std::vector<VarId>& right) {
-  std::vector<VarId> out;
-  for (VarId v : left) {
-    if (std::find(right.begin(), right.end(), v) != right.end()) {
-      out.push_back(v);
-    }
+/// Position of each attribute within a schema (schemas are tiny, so a
+/// linear scan beats a hash map — and this only runs once per plan node).
+uint32_t PositionOf(const std::vector<VarId>& schema, VarId v) {
+  for (size_t i = 0; i < schema.size(); ++i) {
+    if (schema[i] == v) return static_cast<uint32_t>(i);
   }
-  return out;
-}
-
-Tuple KeyOf(const Tuple& t, const std::vector<size_t>& positions) {
-  Tuple key(positions.size());
-  for (size_t i = 0; i < positions.size(); ++i) key[i] = t[positions[i]];
-  return key;
-}
-
-/// Points `out` at the given schema and empties its relation while keeping
-/// the hash-table buckets when the arity already matches — the core of the
-/// cross-execution reuse.
-void ResetOut(RaTable* out, std::vector<VarId> schema) {
-  const int arity = static_cast<int>(schema.size());
-  out->schema = std::move(schema);
-  if (out->rel.arity() == arity) {
-    out->rel.Clear();
-  } else {
-    out->rel = Relation(arity);
-  }
+  return FlatTable::kNone;
 }
 
 }  // namespace
 
 Result<RaTable> RaExecutor::Execute(const PlanPtr& plan) {
-  LQDB_ASSIGN_OR_RETURN(const RaTable* root, ExecuteView(plan));
-  return RaTable(root->schema, root->rel);
+  LQDB_ASSIGN_OR_RETURN(const RaTableView* root, ExecuteView(plan));
+  return RaTable(root->schema, root->rows.ToRelation());
 }
 
-Result<const RaTable*> RaExecutor::ExecuteView(const PlanPtr& plan) {
+Result<const RaTableView*> RaExecutor::ExecuteView(const PlanPtr& plan) {
   ++epoch_;
   return Exec(plan);
 }
 
-Result<const RaTable*> RaExecutor::Exec(const PlanPtr& plan) {
+Result<const RaTableView*> RaExecutor::Exec(const PlanPtr& plan) {
   if (plan == nullptr) return Status::InvalidArgument("null plan");
   // unordered_map never moves elements on rehash, so the reference stays
   // valid while children execute into their own slots.
   Slot& slot = slots_[plan.get()];
   if (slot.epoch == epoch_) return &slot.table;
-  LQDB_RETURN_IF_ERROR(ExecNode(*plan, &slot.table));
+  LQDB_RETURN_IF_ERROR(ExecNode(*plan, &slot));
   // Stamped only after success: a failed node stays stale and is rebuilt
   // (not served) if a later execution reaches it again.
   slot.epoch = epoch_;
   return &slot.table;
 }
 
-Status RaExecutor::ExecNode(const Plan& plan, RaTable* out) {
+Status RaExecutor::ExecNode(const Plan& plan, Slot* slot) {
   switch (plan.kind()) {
-    case PlanKind::kScan: return ExecScan(plan, out);
-    case PlanKind::kConstTuples: return ExecConstTuples(plan, out);
-    case PlanKind::kConstCompare: return ExecConstCompare(plan, out);
-    case PlanKind::kDomainScan: return ExecDomainScan(plan, out);
-    case PlanKind::kEqDomain: return ExecEqDomain(plan, out);
-    case PlanKind::kJoin: return ExecJoin(plan, out);
-    case PlanKind::kAntiJoin: return ExecAntiJoin(plan, out);
-    case PlanKind::kUnion: return ExecUnion(plan, out);
-    case PlanKind::kProject: return ExecProject(plan, out);
+    case PlanKind::kScan: return ExecScan(plan, slot);
+    case PlanKind::kConstTuples: return ExecConstTuples(plan, slot);
+    case PlanKind::kConstCompare: return ExecConstCompare(plan, slot);
+    case PlanKind::kDomainScan: return ExecDomainScan(plan, slot);
+    case PlanKind::kEqDomain: return ExecEqDomain(plan, slot);
+    case PlanKind::kJoin: return ExecJoin(plan, slot);
+    case PlanKind::kAntiJoin: return ExecAntiJoin(plan, slot);
+    case PlanKind::kSemiJoin: return ExecSemiJoin(plan, slot);
+    case PlanKind::kUnion: return ExecUnion(plan, slot);
+    case PlanKind::kProject: return ExecProject(plan, slot);
+    case PlanKind::kParam: return ExecParam(plan, slot);
   }
   return Status::Internal("unknown plan kind");
 }
 
-Status RaExecutor::ExecScan(const Plan& plan, RaTable* out) {
-  const Relation& stored = db_->relation(plan.pred());
-  const TermList& cols = plan.scan_columns();
-
-  // Resolve constant filters and first-occurrence positions of variables.
-  std::unordered_map<VarId, size_t> first_pos;
-  for (size_t i = 0; i < cols.size(); ++i) {
-    if (cols[i].is_variable() && first_pos.count(cols[i].var()) == 0) {
-      first_pos.emplace(cols[i].var(), i);
+void RaExecutor::PrepareMeta(const Plan& plan, Slot* slot) {
+  switch (plan.kind()) {
+    case PlanKind::kScan: {
+      const TermList& cols = plan.scan_columns();
+      // First occurrence of each variable; later occurrences become
+      // equality filters, constants become selections.
+      for (size_t i = 0; i < cols.size(); ++i) {
+        if (cols[i].is_constant()) {
+          slot->const_filters.emplace_back(static_cast<uint32_t>(i),
+                                           cols[i].constant());
+          continue;
+        }
+        uint32_t first = FlatTable::kNone;
+        for (size_t j = 0; j < i; ++j) {
+          if (cols[j].is_variable() && cols[j].var() == cols[i].var()) {
+            first = static_cast<uint32_t>(j);
+            break;
+          }
+        }
+        if (first != FlatTable::kNone) {
+          slot->extra.push_back(static_cast<uint32_t>(i));
+          slot->extra.push_back(first);
+        }
+      }
+      for (VarId v : plan.schema()) {
+        for (size_t i = 0; i < cols.size(); ++i) {
+          if (cols[i].is_variable() && cols[i].var() == v) {
+            slot->key_a.push_back(static_cast<uint32_t>(i));
+            break;
+          }
+        }
+      }
+      break;
     }
+    case PlanKind::kJoin: {
+      const std::vector<VarId>& ls = plan.left()->schema();
+      const std::vector<VarId>& rs = plan.right()->schema();
+      for (size_t i = 0; i < ls.size(); ++i) {
+        const uint32_t rpos = PositionOf(rs, ls[i]);
+        if (rpos != FlatTable::kNone) {
+          slot->key_a.push_back(static_cast<uint32_t>(i));
+          slot->key_b.push_back(rpos);
+        }
+      }
+      // Right columns new to the output, in output order (the output
+      // schema is left's columns followed by right's new ones).
+      for (size_t i = ls.size(); i < plan.schema().size(); ++i) {
+        slot->extra.push_back(PositionOf(rs, plan.schema()[i]));
+      }
+      break;
+    }
+    case PlanKind::kAntiJoin:
+    case PlanKind::kSemiJoin: {
+      const std::vector<VarId>& ls = plan.left()->schema();
+      const std::vector<VarId>& rs = plan.right()->schema();
+      for (size_t i = 0; i < ls.size(); ++i) {
+        const uint32_t rpos = PositionOf(rs, ls[i]);
+        if (rpos != FlatTable::kNone) {
+          slot->key_a.push_back(static_cast<uint32_t>(i));
+          slot->key_b.push_back(rpos);
+        }
+      }
+      break;
+    }
+    case PlanKind::kUnion: {
+      const std::vector<VarId>& rs = plan.right()->schema();
+      for (VarId v : plan.schema()) slot->key_a.push_back(PositionOf(rs, v));
+      break;
+    }
+    case PlanKind::kProject: {
+      const std::vector<VarId>& cs = plan.child()->schema();
+      for (VarId v : plan.schema()) slot->key_a.push_back(PositionOf(cs, v));
+      break;
+    }
+    case PlanKind::kConstTuples:
+    case PlanKind::kConstCompare:
+    case PlanKind::kDomainScan:
+    case PlanKind::kEqDomain:
+    case PlanKind::kParam:
+      break;
   }
-  std::vector<size_t> out_pos;
-  out_pos.reserve(plan.schema().size());
-  for (VarId v : plan.schema()) out_pos.push_back(first_pos.at(v));
+}
 
-  ResetOut(out, plan.schema());
+void RaExecutor::ResetOut(const Plan& plan, Slot* slot) {
+  if (!slot->meta_ready) {
+    PrepareMeta(plan, slot);
+    slot->table.schema = plan.schema();
+    slot->meta_ready = true;
+  }
+  slot->table.rows.Reset(&arena_,
+                         static_cast<uint32_t>(plan.schema().size()));
+}
+
+Status RaExecutor::ExecScan(const Plan& plan, Slot* slot) {
+  const Relation& stored = db_->relation(plan.pred());
+  ResetOut(plan, slot);
+  row_scratch_.resize(slot->key_a.size());
   for (const Tuple& t : stored.tuples()) {
     bool keep = true;
-    for (size_t i = 0; i < cols.size() && keep; ++i) {
-      if (cols[i].is_constant()) {
-        keep = t[i] == db_->ConstantValue(cols[i].constant());
-      } else {
-        keep = t[i] == t[first_pos.at(cols[i].var())];
+    for (const auto& cf : slot->const_filters) {
+      if (t[cf.first] != db_->ConstantValue(cf.second)) {
+        keep = false;
+        break;
       }
     }
-    if (!keep) continue;
-    Tuple row(out_pos.size());
-    for (size_t i = 0; i < out_pos.size(); ++i) row[i] = t[out_pos[i]];
-    out->rel.Insert(std::move(row));
-  }
-  return Status::OK();
-}
-
-Status RaExecutor::ExecConstTuples(const Plan& plan, RaTable* out) {
-  ResetOut(out, plan.schema());
-  for (const auto& row : plan.rows()) {
-    Tuple t(row.size());
-    for (size_t i = 0; i < row.size(); ++i) {
-      t[i] = db_->ConstantValue(row[i]);
+    for (size_t i = 0; keep && i < slot->extra.size(); i += 2) {
+      keep = t[slot->extra[i]] == t[slot->extra[i + 1]];
     }
-    out->rel.Insert(std::move(t));
+    if (!keep) continue;
+    for (size_t i = 0; i < slot->key_a.size(); ++i) {
+      row_scratch_[i] = t[slot->key_a[i]];
+    }
+    slot->table.rows.Insert(row_scratch_.data());
   }
   return Status::OK();
 }
 
-Status RaExecutor::ExecConstCompare(const Plan& plan, RaTable* out) {
-  ResetOut(out, {});
+Status RaExecutor::ExecConstTuples(const Plan& plan, Slot* slot) {
+  ResetOut(plan, slot);
+  row_scratch_.resize(plan.schema().size());
+  for (const auto& row : plan.rows()) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      row_scratch_[i] = db_->ConstantValue(row[i]);
+    }
+    slot->table.rows.Insert(row_scratch_.data());
+  }
+  return Status::OK();
+}
+
+Status RaExecutor::ExecConstCompare(const Plan& plan, Slot* slot) {
+  ResetOut(plan, slot);
   if (db_->ConstantValue(plan.compare_lhs()) ==
       db_->ConstantValue(plan.compare_rhs())) {
-    out->rel.Insert({});
+    slot->table.rows.Insert(row_scratch_.data());
   }
   return Status::OK();
 }
 
-Status RaExecutor::ExecDomainScan(const Plan& plan, RaTable* out) {
-  ResetOut(out, plan.schema());
-  for (Value v : db_->domain()) out->rel.Insert({v});
+Status RaExecutor::ExecDomainScan(const Plan& plan, Slot* slot) {
+  ResetOut(plan, slot);
+  for (Value v : db_->domain()) slot->table.rows.Insert(&v);
   return Status::OK();
 }
 
-Status RaExecutor::ExecEqDomain(const Plan& plan, RaTable* out) {
-  ResetOut(out, plan.schema());
-  for (Value v : db_->domain()) out->rel.Insert({v, v});
+Status RaExecutor::ExecEqDomain(const Plan& plan, Slot* slot) {
+  ResetOut(plan, slot);
+  for (Value v : db_->domain()) {
+    const Value pair[2] = {v, v};
+    slot->table.rows.Insert(pair);
+  }
   return Status::OK();
 }
 
-Status RaExecutor::ExecJoin(const Plan& plan, RaTable* out) {
-  LQDB_ASSIGN_OR_RETURN(const RaTable* left, Exec(plan.left()));
-  LQDB_ASSIGN_OR_RETURN(const RaTable* right, Exec(plan.right()));
+Status RaExecutor::ExecJoin(const Plan& plan, Slot* slot) {
+  LQDB_ASSIGN_OR_RETURN(const RaTableView* left, Exec(plan.left()));
+  LQDB_ASSIGN_OR_RETURN(const RaTableView* right, Exec(plan.right()));
+  ResetOut(plan, slot);
 
-  const std::vector<VarId> shared = SharedAttrs(left->schema, right->schema);
-  auto lidx = SchemaIndex(left->schema);
-  auto ridx = SchemaIndex(right->schema);
-  std::vector<size_t> lkey, rkey;
-  for (VarId v : shared) {
-    lkey.push_back(lidx.at(v));
-    rkey.push_back(ridx.at(v));
-  }
-  // Columns of `right` that are new to the output, in output order.
-  std::vector<size_t> rextra;
-  for (VarId v : plan.schema()) {
-    if (lidx.count(v) == 0) rextra.push_back(ridx.at(v));
-  }
+  // Index the smaller side on the shared key; probe with the larger.
+  const bool left_build = left->rows.size() <= right->rows.size();
+  const FlatTable& build = left_build ? left->rows : right->rows;
+  const FlatTable& probe = left_build ? right->rows : left->rows;
+  const std::vector<uint32_t>& build_key =
+      left_build ? slot->key_a : slot->key_b;
+  const std::vector<uint32_t>& probe_key =
+      left_build ? slot->key_b : slot->key_a;
+  slot->index.Build(&arena_, &build, build_key.data(), build_key.size());
 
-  // Hash the smaller side on the shared key.
-  const bool left_build = left->rel.size() <= right->rel.size();
-  const RaTable& build = left_build ? *left : *right;
-  const RaTable& probe = left_build ? *right : *left;
-  const std::vector<size_t>& build_key = left_build ? lkey : rkey;
-  const std::vector<size_t>& probe_key = left_build ? rkey : lkey;
-
-  std::unordered_map<Tuple, std::vector<const Tuple*>, TupleHash> hash;
-  for (const Tuple& t : build.rel.tuples()) {
-    hash[KeyOf(t, build_key)].push_back(&t);
-  }
-
-  ResetOut(out, plan.schema());
-  for (const Tuple& p : probe.rel.tuples()) {
-    auto it = hash.find(KeyOf(p, probe_key));
-    if (it == hash.end()) continue;
-    for (const Tuple* b : it->second) {
-      const Tuple& l = left_build ? *b : p;
-      const Tuple& r = left_build ? p : *b;
-      Tuple row;
-      row.reserve(plan.schema().size());
-      for (size_t i = 0; i < left->schema.size(); ++i) row.push_back(l[i]);
-      for (size_t pos : rextra) row.push_back(r[pos]);
-      out->rel.Insert(std::move(row));
+  const size_t lar = plan.left()->schema().size();
+  row_scratch_.resize(plan.schema().size());
+  key_scratch_.resize(probe_key.size());
+  for (size_t p = 0; p < probe.size(); ++p) {
+    const Value* pr = probe.row(p);
+    for (size_t i = 0; i < probe_key.size(); ++i) {
+      key_scratch_[i] = pr[probe_key[i]];
+    }
+    for (uint32_t b = slot->index.First(key_scratch_.data());
+         b != JoinIndex::kNone; b = slot->index.Next(b)) {
+      const Value* br = build.row(b);
+      const Value* l = left_build ? br : pr;
+      const Value* r = left_build ? pr : br;
+      for (size_t i = 0; i < lar; ++i) row_scratch_[i] = l[i];
+      for (size_t i = 0; i < slot->extra.size(); ++i) {
+        row_scratch_[lar + i] = r[slot->extra[i]];
+      }
+      slot->table.rows.Insert(row_scratch_.data());
     }
   }
   return Status::OK();
 }
 
-Status RaExecutor::ExecAntiJoin(const Plan& plan, RaTable* out) {
-  LQDB_ASSIGN_OR_RETURN(const RaTable* left, Exec(plan.left()));
-  LQDB_ASSIGN_OR_RETURN(const RaTable* right, Exec(plan.right()));
+Status RaExecutor::ExecAntiJoin(const Plan& plan, Slot* slot) {
+  LQDB_ASSIGN_OR_RETURN(const RaTableView* left, Exec(plan.left()));
+  LQDB_ASSIGN_OR_RETURN(const RaTableView* right, Exec(plan.right()));
+  ResetOut(plan, slot);
 
-  const std::vector<VarId> shared = SharedAttrs(left->schema, right->schema);
-  auto lidx = SchemaIndex(left->schema);
-  auto ridx = SchemaIndex(right->schema);
-  std::vector<size_t> lkey, rkey;
-  for (VarId v : shared) {
-    lkey.push_back(lidx.at(v));
-    rkey.push_back(ridx.at(v));
+  const size_t nkey = slot->key_a.size();
+  slot->key_set.Reset(&arena_, static_cast<uint32_t>(nkey));
+  key_scratch_.resize(nkey);
+  for (size_t r = 0; r < right->rows.size(); ++r) {
+    const Value* row = right->rows.row(r);
+    for (size_t i = 0; i < nkey; ++i) key_scratch_[i] = row[slot->key_b[i]];
+    slot->key_set.Insert(key_scratch_.data());
   }
-
-  Relation::TupleSet right_keys;
-  for (const Tuple& t : right->rel.tuples()) {
-    right_keys.insert(KeyOf(t, rkey));
-  }
-
-  ResetOut(out, left->schema);
-  for (const Tuple& t : left->rel.tuples()) {
-    if (right_keys.count(KeyOf(t, lkey)) == 0) out->rel.Insert(t);
+  for (size_t l = 0; l < left->rows.size(); ++l) {
+    const Value* row = left->rows.row(l);
+    for (size_t i = 0; i < nkey; ++i) key_scratch_[i] = row[slot->key_a[i]];
+    if (!slot->key_set.Contains(key_scratch_.data())) {
+      slot->table.rows.Insert(row);
+    }
   }
   return Status::OK();
 }
 
-Status RaExecutor::ExecUnion(const Plan& plan, RaTable* out) {
-  LQDB_ASSIGN_OR_RETURN(const RaTable* left, Exec(plan.left()));
-  LQDB_ASSIGN_OR_RETURN(const RaTable* right, Exec(plan.right()));
+Status RaExecutor::ExecSemiJoin(const Plan& plan, Slot* slot) {
+  LQDB_ASSIGN_OR_RETURN(const RaTableView* left, Exec(plan.left()));
+  LQDB_ASSIGN_OR_RETURN(const RaTableView* right, Exec(plan.right()));
+  ResetOut(plan, slot);
 
-  // Reorder right columns into left order.
-  auto ridx = SchemaIndex(right->schema);
-  std::vector<size_t> perm;
-  perm.reserve(left->schema.size());
-  for (VarId v : left->schema) perm.push_back(ridx.at(v));
-
-  // Copy (not move out of) the left child: it lives in its own slot and
-  // other references to the shared node must still see its rows.
-  ResetOut(out, left->schema);
-  for (const Tuple& t : left->rel.tuples()) out->rel.Insert(t);
-  for (const Tuple& t : right->rel.tuples()) {
-    out->rel.Insert(KeyOf(t, perm));
+  const size_t nkey = slot->key_a.size();
+  slot->key_set.Reset(&arena_, static_cast<uint32_t>(nkey));
+  key_scratch_.resize(nkey);
+  for (size_t r = 0; r < right->rows.size(); ++r) {
+    const Value* row = right->rows.row(r);
+    for (size_t i = 0; i < nkey; ++i) key_scratch_[i] = row[slot->key_b[i]];
+    slot->key_set.Insert(key_scratch_.data());
+  }
+  for (size_t l = 0; l < left->rows.size(); ++l) {
+    const Value* row = left->rows.row(l);
+    for (size_t i = 0; i < nkey; ++i) key_scratch_[i] = row[slot->key_a[i]];
+    if (slot->key_set.Contains(key_scratch_.data())) {
+      slot->table.rows.Insert(row);
+    }
   }
   return Status::OK();
 }
 
-Status RaExecutor::ExecProject(const Plan& plan, RaTable* out) {
-  LQDB_ASSIGN_OR_RETURN(const RaTable* child, Exec(plan.child()));
-  auto cidx = SchemaIndex(child->schema);
-  std::vector<size_t> positions;
-  positions.reserve(plan.schema().size());
-  for (VarId v : plan.schema()) positions.push_back(cidx.at(v));
+Status RaExecutor::ExecUnion(const Plan& plan, Slot* slot) {
+  LQDB_ASSIGN_OR_RETURN(const RaTableView* left, Exec(plan.left()));
+  LQDB_ASSIGN_OR_RETURN(const RaTableView* right, Exec(plan.right()));
+  ResetOut(plan, slot);
 
-  ResetOut(out, plan.schema());
-  for (const Tuple& t : child->rel.tuples()) {
-    out->rel.Insert(KeyOf(t, positions));
+  // Copy (not alias) the left child: it lives in its own slot and other
+  // references to the shared node must still see its rows.
+  for (size_t l = 0; l < left->rows.size(); ++l) {
+    slot->table.rows.Insert(left->rows.row(l));
+  }
+  row_scratch_.resize(plan.schema().size());
+  for (size_t r = 0; r < right->rows.size(); ++r) {
+    const Value* row = right->rows.row(r);
+    for (size_t i = 0; i < slot->key_a.size(); ++i) {
+      row_scratch_[i] = row[slot->key_a[i]];
+    }
+    slot->table.rows.Insert(row_scratch_.data());
+  }
+  return Status::OK();
+}
+
+Status RaExecutor::ExecProject(const Plan& plan, Slot* slot) {
+  LQDB_ASSIGN_OR_RETURN(const RaTableView* child, Exec(plan.child()));
+  ResetOut(plan, slot);
+  row_scratch_.resize(plan.schema().size());
+  for (size_t c = 0; c < child->rows.size(); ++c) {
+    const Value* row = child->rows.row(c);
+    for (size_t i = 0; i < slot->key_a.size(); ++i) {
+      row_scratch_[i] = row[slot->key_a[i]];
+    }
+    slot->table.rows.Insert(row_scratch_.data());
+  }
+  return Status::OK();
+}
+
+Status RaExecutor::ExecParam(const Plan& plan, Slot* slot) {
+  auto it = params_.find(&plan);
+  if (it == params_.end()) {
+    return Status::InvalidArgument(
+        "plan parameter executed without a bound table (BindParam)");
+  }
+  ResetOut(plan, slot);
+  const size_t arity = plan.schema().size();
+  for (size_t r = 0; r < it->second.count; ++r) {
+    slot->table.rows.Insert(it->second.rows + r * arity);
   }
   return Status::OK();
 }

@@ -3,16 +3,20 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "lqdb/ra/flat_table.h"
 #include "lqdb/ra/plan.h"
 #include "lqdb/relational/database.h"
+#include "lqdb/util/arena.h"
 #include "lqdb/util/result.h"
 
 namespace lqdb {
 
 /// An executed intermediate result: a relation whose columns are named by
-/// the plan schema (column i carries attribute schema[i]).
+/// the plan schema (column i carries attribute schema[i]). The owned form
+/// returned by `RaExecutor::Execute` for one-shot callers.
 struct RaTable {
   std::vector<VarId> schema;
   Relation rel;
@@ -20,6 +24,14 @@ struct RaTable {
   RaTable() : rel(0) {}
   RaTable(std::vector<VarId> s, Relation r)
       : schema(std::move(s)), rel(std::move(r)) {}
+};
+
+/// The zero-copy result form: schema plus an arena-backed flat table that
+/// lives in the executor's slot storage. Returned by `ExecuteView` for the
+/// Theorem 1 inner loops.
+struct RaTableView {
+  std::vector<VarId> schema;
+  FlatTable rows;
 };
 
 /// Bottom-up, fully materializing relational-algebra executor using hash
@@ -31,21 +43,23 @@ struct RaTable {
 /// every distinct node is evaluated exactly once, keeping execution linear
 /// in `Plan::NumUniqueNodes()` rather than the tree size.
 ///
-/// Intermediate tables are *reused across executions*: each plan node owns
-/// a slot whose relation is `Clear()`ed (keeping its hash-table buckets)
-/// instead of destroyed, so the Theorem 1 inner loop — the same cached
-/// plan executed against thousands of image databases — stops paying a
-/// fresh round of hash-table allocations per image. Slots are validated by
-/// an execution epoch, which is what scopes the memo to one execution even
-/// though the storage persists. The win is visible on the E8 ablation: on
-/// the enumeration-heavy world (1540 images per query) the reuse cut
-/// ra-exact's per-query time by ~1.4–1.5x (BM_TheoremOne/ra-exact/0
-/// 3.22ms → 2.14ms, /1 18.9ms → 13.3ms, single-core Release; the E8b
-/// registry-table ra-exact row went 3.0ms → 1.9ms per pool while `exact`
-/// stayed flat; bench/bench_e8_engine_ablation.cc).
+/// Storage is built for the Theorem 1 inner loop — the same cached plan
+/// executed against thousands of image databases:
+///
+///   - every plan node owns a slot holding an arena-backed `FlatTable`
+///     (flat row array + open-addressing slot array) that is emptied, not
+///     destroyed, between executions, so the steady state performs **no
+///     allocation at all**: rows land in recycled arena storage, hash
+///     probes walk recycled slot arrays, and the per-node join index /
+///     key-set scratch is recycled the same way;
+///   - per-node column metadata (join keys, projection positions, scan
+///     filters) depends only on the plan shape, so it is computed once per
+///     node and reused for every image;
+///   - slots are validated by an execution epoch, which scopes the memo to
+///     one execution even though the storage persists.
 ///
 /// `ExecuteView` is the zero-copy entry point for such loops; `Execute`
-/// returns an owned copy for one-shot callers.
+/// returns an owned `Relation` copy for one-shot callers.
 class RaExecutor {
  public:
   explicit RaExecutor(const PhysicalDatabase* db) : db_(db) {}
@@ -56,35 +70,79 @@ class RaExecutor {
   /// Executes `plan` and returns a pointer into the executor's slot
   /// storage — no copy. Valid until the next `Execute`/`ExecuteView` call
   /// on this executor (or its destruction).
-  Result<const RaTable*> ExecuteView(const PlanPtr& plan);
+  Result<const RaTableView*> ExecuteView(const PlanPtr& plan);
+
+  /// Binds the rows a `kParam` node produces: `count` rows of the node's
+  /// arity, flat row-major. The buffer is borrowed — it must stay valid
+  /// until the binding is replaced; duplicates are deduplicated on
+  /// execution. Executing a plan containing an unbound `kParam` fails.
+  void BindParam(const Plan* param, const Value* rows, size_t count) {
+    params_[param] = {rows, count};
+  }
 
  private:
-  /// A per-plan-node result table, reused across executions. `epoch`
-  /// records the execution that last filled `table`; a stale epoch means
-  /// the rows belong to a previous image database and must be rebuilt.
+  /// A per-plan-node result table plus reusable scratch. `epoch` records
+  /// the execution that last filled `table`; a stale epoch means the rows
+  /// belong to a previous image database and must be rebuilt.
   struct Slot {
-    RaTable table;
+    RaTableView table;
     uint64_t epoch = 0;
+    /// Plan-shape metadata, computed on first execution of the node and
+    /// image-independent (see `PrepareMeta`). Meaning varies by kind:
+    /// join/anti/semijoin: `key_a`/`key_b` are left/right key columns and
+    /// `extra` the right columns appended to the output; project/union:
+    /// `key_a` holds child positions in output order; scan: `key_a` is
+    /// output columns, `extra` holds (column, first-occurrence) filter
+    /// pairs and `const_filters` the constant selections.
+    bool meta_ready = false;
+    std::vector<uint32_t> key_a;
+    std::vector<uint32_t> key_b;
+    std::vector<uint32_t> extra;
+    std::vector<std::pair<uint32_t, ConstId>> const_filters;
+    /// Per-image scratch, recycled across executions.
+    FlatTable key_set;
+    JoinIndex index;
   };
 
   /// Memoized evaluation; the returned pointer lives in `slots_` and stays
   /// valid until the next execution begins.
-  Result<const RaTable*> Exec(const PlanPtr& plan);
-  Status ExecNode(const Plan& plan, RaTable* out);
+  Result<const RaTableView*> Exec(const PlanPtr& plan);
+  Status ExecNode(const Plan& plan, Slot* slot);
 
-  Status ExecScan(const Plan& plan, RaTable* out);
-  Status ExecConstTuples(const Plan& plan, RaTable* out);
-  Status ExecConstCompare(const Plan& plan, RaTable* out);
-  Status ExecDomainScan(const Plan& plan, RaTable* out);
-  Status ExecEqDomain(const Plan& plan, RaTable* out);
-  Status ExecJoin(const Plan& plan, RaTable* out);
-  Status ExecAntiJoin(const Plan& plan, RaTable* out);
-  Status ExecUnion(const Plan& plan, RaTable* out);
-  Status ExecProject(const Plan& plan, RaTable* out);
+  /// Computes the image-independent column metadata of `slot` (run once
+  /// per node; see `Slot`).
+  void PrepareMeta(const Plan& plan, Slot* slot);
+
+  Status ExecScan(const Plan& plan, Slot* slot);
+  Status ExecConstTuples(const Plan& plan, Slot* slot);
+  Status ExecConstCompare(const Plan& plan, Slot* slot);
+  Status ExecDomainScan(const Plan& plan, Slot* slot);
+  Status ExecEqDomain(const Plan& plan, Slot* slot);
+  Status ExecJoin(const Plan& plan, Slot* slot);
+  Status ExecAntiJoin(const Plan& plan, Slot* slot);
+  Status ExecSemiJoin(const Plan& plan, Slot* slot);
+  Status ExecUnion(const Plan& plan, Slot* slot);
+  Status ExecProject(const Plan& plan, Slot* slot);
+  Status ExecParam(const Plan& plan, Slot* slot);
+
+  /// Empties `slot`'s table for this node's schema, keeping capacity.
+  void ResetOut(const Plan& plan, Slot* slot);
+
+  struct ParamBinding {
+    const Value* rows = nullptr;
+    size_t count = 0;
+  };
 
   const PhysicalDatabase* db_;
   uint64_t epoch_ = 0;
+  /// Never reset while the executor lives: slot tables grow into it and
+  /// keep their storage across images (abandoned-on-growth arrays are
+  /// bounded by the doubling policy).
+  MemArena arena_;
   std::unordered_map<const Plan*, Slot> slots_;
+  std::unordered_map<const Plan*, ParamBinding> params_;
+  std::vector<Value> row_scratch_;
+  std::vector<Value> key_scratch_;
 };
 
 }  // namespace lqdb

@@ -101,6 +101,26 @@ Result<PlanPtr> Plan::AntiJoin(PlanPtr left, PlanPtr right) {
   return PlanPtr(node);
 }
 
+Result<PlanPtr> Plan::SemiJoin(PlanPtr left, PlanPtr right) {
+  if (left == nullptr || right == nullptr) {
+    return Status::InvalidArgument("semijoin child must not be null");
+  }
+  auto node = NewNode(PlanKind::kSemiJoin);
+  node->schema_ = left->schema();
+  node->children_ = {std::move(left), std::move(right)};
+  return PlanPtr(node);
+}
+
+Result<PlanPtr> Plan::Param(std::vector<VarId> schema) {
+  std::set<VarId> seen(schema.begin(), schema.end());
+  if (seen.size() != schema.size()) {
+    return Status::InvalidArgument("Param schema must be distinct");
+  }
+  auto node = NewNode(PlanKind::kParam);
+  node->schema_ = std::move(schema);
+  return PlanPtr(node);
+}
+
 Result<PlanPtr> Plan::Union(PlanPtr left, PlanPtr right) {
   if (left == nullptr || right == nullptr) {
     return Status::InvalidArgument("union child must not be null");
@@ -159,9 +179,7 @@ size_t Plan::NumUniqueNodes() const {
   return seen.size();
 }
 
-void Plan::AppendTo(const Vocabulary& vocab, int indent,
-                    std::string* out) const {
-  out->append(static_cast<size_t>(indent) * 2, ' ');
+std::string Plan::NodeLabel(const Vocabulary& vocab) const {
   auto schema_str = [&vocab](const std::vector<VarId>& schema) {
     std::string s = "[";
     for (size_t i = 0; i < schema.size(); ++i) {
@@ -172,44 +190,46 @@ void Plan::AppendTo(const Vocabulary& vocab, int indent,
   };
   switch (kind_) {
     case PlanKind::kScan: {
-      *out += "Scan " + vocab.PredicateName(pred_) + "(";
+      std::string out = "Scan " + vocab.PredicateName(pred_) + "(";
       for (size_t i = 0; i < scan_columns_.size(); ++i) {
-        if (i > 0) *out += ", ";
+        if (i > 0) out += ", ";
         const Term& t = scan_columns_[i];
-        *out += t.is_variable() ? vocab.VariableName(t.var())
-                                : vocab.ConstantName(t.constant());
+        out += t.is_variable() ? vocab.VariableName(t.var())
+                               : vocab.ConstantName(t.constant());
       }
-      *out += ") -> " + schema_str(schema_) + "\n";
-      return;
+      return out + ") -> " + schema_str(schema_);
     }
-    case PlanKind::kConstTuples: {
-      *out += "Const " + schema_str(schema_) + " rows=" +
-              std::to_string(rows_.size()) + "\n";
-      return;
-    }
+    case PlanKind::kConstTuples:
+      return "Const " + schema_str(schema_) + " rows=" +
+             std::to_string(rows_.size());
     case PlanKind::kConstCompare:
-      *out += "ConstCompare " + vocab.ConstantName(compare_lhs_) + " = " +
-              vocab.ConstantName(compare_rhs_) + "\n";
-      return;
+      return "ConstCompare " + vocab.ConstantName(compare_lhs_) + " = " +
+             vocab.ConstantName(compare_rhs_);
     case PlanKind::kDomainScan:
-      *out += "DomainScan -> " + schema_str(schema_) + "\n";
-      return;
+      return "DomainScan -> " + schema_str(schema_);
     case PlanKind::kEqDomain:
-      *out += "EqDomain -> " + schema_str(schema_) + "\n";
-      return;
+      return "EqDomain -> " + schema_str(schema_);
     case PlanKind::kJoin:
-      *out += "Join -> " + schema_str(schema_) + "\n";
-      break;
+      return "Join -> " + schema_str(schema_);
     case PlanKind::kAntiJoin:
-      *out += "AntiJoin -> " + schema_str(schema_) + "\n";
-      break;
+      return "AntiJoin -> " + schema_str(schema_);
+    case PlanKind::kSemiJoin:
+      return "SemiJoin -> " + schema_str(schema_);
     case PlanKind::kUnion:
-      *out += "Union -> " + schema_str(schema_) + "\n";
-      break;
+      return "Union -> " + schema_str(schema_);
     case PlanKind::kProject:
-      *out += "Project -> " + schema_str(schema_) + "\n";
-      break;
+      return "Project -> " + schema_str(schema_);
+    case PlanKind::kParam:
+      return "Param -> " + schema_str(schema_);
   }
+  return "?";
+}
+
+void Plan::AppendTo(const Vocabulary& vocab, int indent,
+                    std::string* out) const {
+  out->append(static_cast<size_t>(indent) * 2, ' ');
+  *out += NodeLabel(vocab);
+  *out += "\n";
   for (const auto& c : children_) c->AppendTo(vocab, indent + 1, out);
 }
 

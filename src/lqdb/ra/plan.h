@@ -22,8 +22,10 @@ enum class PlanKind {
   kEqDomain,     ///< Two attributes, rows {(d, d) : d in domain}.
   kJoin,         ///< Natural join (Cartesian product when no shared attr).
   kAntiJoin,     ///< Left rows with no right match on the shared attributes.
+  kSemiJoin,     ///< Left rows with some right match on the shared attributes.
   kUnion,        ///< Set union; both sides must carry the same attribute set.
   kProject,      ///< Duplicate-eliminating projection / column reorder.
+  kParam,        ///< Runtime-bound rows (`RaExecutor::BindParam`).
 };
 
 class Plan;
@@ -55,6 +57,16 @@ class Plan {
 
   static Result<PlanPtr> AntiJoin(PlanPtr left, PlanPtr right);
 
+  /// Keeps the left rows with at least one right match on the shared
+  /// attributes (the reducer of a semijoin reduction); schema = left's.
+  static Result<PlanPtr> SemiJoin(PlanPtr left, PlanPtr right);
+
+  /// A table whose rows are supplied at execution time via
+  /// `RaExecutor::BindParam`, keyed by node identity. The semijoin
+  /// reduction uses one per query to stream the surviving candidate set of
+  /// the Theorem 1 loop into the plan.
+  static Result<PlanPtr> Param(std::vector<VarId> schema);
+
   /// Requires equal attribute sets (any order).
   static Result<PlanPtr> Union(PlanPtr left, PlanPtr right);
 
@@ -77,6 +89,11 @@ class Plan {
 
   /// Indented operator-tree dump for debugging and tests.
   std::string ToString(const Vocabulary& vocab) const;
+
+  /// The one-line label of this node alone (no children, no newline) —
+  /// the building block of `ToString` and of annotated plan dumps
+  /// (`RaCompiler::AnnotatePlan`, shell `explain`).
+  std::string NodeLabel(const Vocabulary& vocab) const;
 
   /// Total number of operator nodes, counting a shared subtree once per
   /// reference (the plan viewed as a tree).

@@ -1,0 +1,138 @@
+#include "lqdb/ra/semijoin.h"
+
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+namespace lqdb {
+
+namespace {
+
+/// Top-down pushdown of the candidate filter. `flow` is the set of
+/// attributes (always a subset of the param schema) whose values are
+/// preserved verbatim from the current node up to the root — so a row of
+/// this node whose `flow`-columns do not match any candidate can never
+/// contribute a surviving root row. A quantifier projection that drops a
+/// flowing attribute (e.g. a head variable shadowed by an inner `∃`)
+/// empties the flow below it, which stops the pushdown — exactly the
+/// boundary where the value correspondence breaks.
+class Reducer {
+ public:
+  explicit Reducer(PlanPtr param) : param_(std::move(param)) {}
+
+  Result<PlanPtr> Push(const PlanPtr& node, const std::vector<VarId>& flow) {
+    // Restrict the flow to this node's schema, in param-schema order.
+    std::vector<VarId> f;
+    for (VarId v : flow) {
+      for (VarId s : node->schema()) {
+        if (s == v) {
+          f.push_back(v);
+          break;
+        }
+      }
+    }
+    if (f.empty()) return node;
+    const MemoKey key(node.get(), f);
+    auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+
+    PlanPtr out = node;
+    switch (node->kind()) {
+      case PlanKind::kScan:
+      case PlanKind::kDomainScan:
+      case PlanKind::kEqDomain: {
+        // Filter the leaf before anything joins on it: semijoin against
+        // the candidate columns it carries.
+        LQDB_ASSIGN_OR_RETURN(PlanPtr filter, FilterOf(f));
+        LQDB_ASSIGN_OR_RETURN(out, Plan::SemiJoin(node, std::move(filter)));
+        break;
+      }
+      case PlanKind::kJoin: {
+        LQDB_ASSIGN_OR_RETURN(PlanPtr l, Push(node->left(), f));
+        LQDB_ASSIGN_OR_RETURN(PlanPtr r, Push(node->right(), f));
+        if (l != node->left() || r != node->right()) {
+          LQDB_ASSIGN_OR_RETURN(out, Plan::Join(std::move(l), std::move(r)));
+        }
+        break;
+      }
+      case PlanKind::kUnion: {
+        LQDB_ASSIGN_OR_RETURN(PlanPtr l, Push(node->left(), f));
+        LQDB_ASSIGN_OR_RETURN(PlanPtr r, Push(node->right(), f));
+        if (l != node->left() || r != node->right()) {
+          LQDB_ASSIGN_OR_RETURN(out, Plan::Union(std::move(l), std::move(r)));
+        }
+        break;
+      }
+      case PlanKind::kAntiJoin: {
+        // Only the left side: shrinking the right side of an anti-join
+        // *grows* its output — the one antitone edge in the algebra.
+        LQDB_ASSIGN_OR_RETURN(PlanPtr l, Push(node->left(), f));
+        if (l != node->left()) {
+          LQDB_ASSIGN_OR_RETURN(
+              out, Plan::AntiJoin(std::move(l), node->right()));
+        }
+        break;
+      }
+      case PlanKind::kSemiJoin: {
+        LQDB_ASSIGN_OR_RETURN(PlanPtr l, Push(node->left(), f));
+        if (l != node->left()) {
+          LQDB_ASSIGN_OR_RETURN(
+              out, Plan::SemiJoin(std::move(l), node->right()));
+        }
+        break;
+      }
+      case PlanKind::kProject: {
+        LQDB_ASSIGN_OR_RETURN(PlanPtr c, Push(node->child(), f));
+        if (c != node->child()) {
+          LQDB_ASSIGN_OR_RETURN(out, Plan::Project(std::move(c),
+                                                   node->schema()));
+        }
+        break;
+      }
+      case PlanKind::kConstTuples:
+      case PlanKind::kConstCompare:
+      case PlanKind::kParam:
+        break;  // nothing worth filtering
+    }
+    memo_.emplace(key, out);
+    return out;
+  }
+
+ private:
+  using MemoKey = std::pair<const Plan*, std::vector<VarId>>;
+
+  /// `π_attrs(param)`, shared across every leaf filtered on the same
+  /// columns (the executor then builds its key set once per image).
+  Result<PlanPtr> FilterOf(const std::vector<VarId>& attrs) {
+    if (attrs == param_->schema()) return param_;
+    auto it = filter_cache_.find(attrs);
+    if (it != filter_cache_.end()) return it->second;
+    LQDB_ASSIGN_OR_RETURN(PlanPtr proj, Plan::Project(param_, attrs));
+    filter_cache_.emplace(attrs, proj);
+    return proj;
+  }
+
+  PlanPtr param_;
+  std::map<std::vector<VarId>, PlanPtr> filter_cache_;
+  std::map<MemoKey, PlanPtr> memo_;
+};
+
+}  // namespace
+
+Result<ReducedPlan> SemijoinReduce(const PlanPtr& root) {
+  if (root == nullptr) return Status::InvalidArgument("null plan");
+  if (root->schema().empty()) {
+    // Boolean query: the only candidate is the empty tuple; there is
+    // nothing to filter by.
+    return ReducedPlan{root, nullptr};
+  }
+  LQDB_ASSIGN_OR_RETURN(PlanPtr param, Plan::Param(root->schema()));
+  Reducer reducer(param);
+  LQDB_ASSIGN_OR_RETURN(PlanPtr reduced, reducer.Push(root, root->schema()));
+  LQDB_ASSIGN_OR_RETURN(PlanPtr out,
+                        Plan::SemiJoin(std::move(reduced), param));
+  return ReducedPlan{std::move(out), std::move(param)};
+}
+
+}  // namespace lqdb

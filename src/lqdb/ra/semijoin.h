@@ -1,0 +1,39 @@
+#ifndef LQDB_RA_SEMIJOIN_H_
+#define LQDB_RA_SEMIJOIN_H_
+
+#include "lqdb/ra/plan.h"
+#include "lqdb/util/result.h"
+
+namespace lqdb {
+
+/// A semijoin-reduced plan for the Theorem 1 candidate-membership sweep.
+///
+/// The inner loop of the certain/possible-answer engines evaluates the same
+/// compiled query against thousands of image databases, but per image it
+/// only needs to know which of the *surviving candidate tuples* are in the
+/// answer — not the full answer relation. `SemijoinReduce` rewrites the
+/// plan to exploit that: a `kParam` table (bound per image to the mapped
+/// candidate set via `RaExecutor::BindParam`) semijoin-filters the root,
+/// and projections of it are pushed down the plan's monotone edges to
+/// filter scans and domain products before any join runs. As the candidate
+/// set shrinks, so does every filtered intermediate.
+///
+/// Correctness: the pushed filters only ever *shrink* subplan results
+/// along value-preserving columns of monotone paths (join children,
+/// union branches, projections, anti/semijoin *left* children — never an
+/// anti-join's right child, whose shrinkage could grow the output), and
+/// the root semijoin makes the result exactly
+/// `original ∩ candidate-rows` regardless of how much was pushed.
+struct ReducedPlan {
+  /// Equivalent to `SemiJoin(original, param)`.
+  PlanPtr plan;
+  /// The parameter node to bind (schema = the original root's schema).
+  /// Null when the root has arity 0 — nothing to filter by.
+  PlanPtr param;
+};
+
+Result<ReducedPlan> SemijoinReduce(const PlanPtr& root);
+
+}  // namespace lqdb
+
+#endif  // LQDB_RA_SEMIJOIN_H_

@@ -21,9 +21,14 @@ class SqlEmitter {
         return "SELECT v AS " + Attr(plan.schema()[0]) + ", v AS " +
                Attr(plan.schema()[1]) + " FROM dom";
       case PlanKind::kJoin: return EmitJoin(plan);
-      case PlanKind::kAntiJoin: return EmitAntiJoin(plan);
+      case PlanKind::kAntiJoin: return EmitSemi(plan, /*anti=*/true);
+      case PlanKind::kSemiJoin: return EmitSemi(plan, /*anti=*/false);
       case PlanKind::kUnion: return EmitUnion(plan);
       case PlanKind::kProject: return EmitProject(plan);
+      case PlanKind::kParam:
+        // Runtime-bound tables have no stored SQL form; emit a named
+        // placeholder relation so the statement shape stays readable.
+        return "SELECT " + SelectList(plan.schema(), "") + " FROM param";
     }
     assert(false && "unreachable");
     return "";
@@ -177,7 +182,9 @@ class SqlEmitter {
     return stmt;
   }
 
-  std::string EmitAntiJoin(const Plan& plan) {
+  /// Anti- and semijoin share the correlated-subquery shape; only the
+  /// EXISTS polarity differs.
+  std::string EmitSemi(const Plan& plan, bool anti) {
     std::string l = Alias();
     std::string r = Alias();
     std::string corr;
@@ -193,9 +200,9 @@ class SqlEmitter {
     std::string left_sql = Emit(*plan.left());
     std::string right_sql = Emit(*plan.right());
     std::string stmt = "SELECT " + SelectList(plan.schema(), l) + " FROM (" +
-                       left_sql + ") " + l +
-                       " WHERE NOT EXISTS (SELECT 1 FROM (" + right_sql +
-                       ") " + r;
+                       left_sql + ") " + l + " WHERE " +
+                       (anti ? "NOT EXISTS" : "EXISTS") +
+                       " (SELECT 1 FROM (" + right_sql + ") " + r;
     if (!corr.empty()) stmt += " WHERE " + corr;
     stmt += ")";
     return stmt;

@@ -3,8 +3,10 @@
 #include <sstream>
 #include <string>
 
+#include "lqdb/gen/scenario.h"
 #include "lqdb/io/text_format.h"
 #include "lqdb/logic/classify.h"
+#include "lqdb/logic/parser.h"
 #include "lqdb/logic/query.h"
 #include "tests/testing.h"
 
@@ -61,7 +63,25 @@ RandomDbParams DbParamsFor(InstanceProfile profile) {
       p.num_facts = 6;
       p.explicit_distinct_p = 0.1;
       break;
+    case InstanceProfile::kLarge:
+      break;  // handled by ScenarioParamsForLarge, not RandomDbParams
   }
+  return p;
+}
+
+/// kLarge sizing: ~18 constants and ~200 facts (an order of magnitude over
+/// the toy profiles) with only 2 unknowns, so the canonical-mapping count
+/// stays in the hundreds and the suite remains CI-safe under ASan/TSan
+/// while the per-image relational work dominates.
+ScenarioParams ScenarioParamsForLarge() {
+  ScenarioParams p;
+  p.num_known = 16;
+  p.num_unknown = 2;
+  p.num_unary = 2;
+  p.num_binary = 2;
+  p.facts_per_relation = 48;
+  p.unknown_ref_rate = 0.15;
+  p.distinct_pair_rate = 0.1;
   return p;
 }
 
@@ -90,6 +110,8 @@ RandomFormulaParams FormulaParamsFor(InstanceProfile profile) {
       p.max_depth = 3;
       p.free_vars = {"hx"};
       break;
+    case InstanceProfile::kLarge:
+      break;  // kLarge draws from the fixed scenario query pool
   }
   return p;
 }
@@ -110,11 +132,24 @@ const char* ProfileName(InstanceProfile profile) {
       return "positive";
     case InstanceProfile::kSkewed:
       return "skewed";
+    case InstanceProfile::kLarge:
+      return "large";
   }
   return "unknown";
 }
 
 DifferentialInstance MakeInstance(uint64_t seed, InstanceProfile profile) {
+  if (profile == InstanceProfile::kLarge) {
+    const ScenarioParams params = ScenarioParamsForLarge();
+    std::unique_ptr<CwDatabase> db = MakeScenario(seed, params);
+    const std::vector<std::string> pool = ScenarioQueryPool(params);
+    // Cycle the fixed pool so every query shape is hit within a handful of
+    // seeds while the database still varies per seed.
+    Query query =
+        ParseQuery(db->mutable_vocab(), pool[seed % pool.size()]).value();
+    return DifferentialInstance(seed, profile, std::move(db),
+                                std::move(query));
+  }
   std::unique_ptr<CwDatabase> db = RandomCwDatabase(seed, DbParamsFor(profile));
   // Decorrelate the query stream from the database stream so instances with
   // equal seeds but different profiles do not share query structure.

@@ -35,6 +35,13 @@ enum class InstanceProfile {
   /// giant kernel-class subtree — the adversarial shape for static range
   /// partitioning, exercising the parallel engine's work stealing.
   kSkewed,
+  /// A generated large-world scenario (`lqdb/gen/scenario.h`): an order of
+  /// magnitude more constants and facts than the toy profiles, with few
+  /// unknowns so the canonical-mapping count stays CI-safe, and a fixed
+  /// join-heavy query pool instead of random formulas — the regime where
+  /// the compiled RA engine's join ordering and semijoin reduction carry
+  /// the per-image work.
+  kLarge,
 };
 
 const char* ProfileName(InstanceProfile profile);

@@ -187,12 +187,21 @@ def print_diff(baseline_path: pathlib.Path, merged: dict) -> None:
     for row in rows:
         print("  " + "  ".join(cell.ljust(width)
                                for cell, width in zip(row, widths)).rstrip())
+    # Rows that appear or disappear are part of the perf story (a renamed
+    # benchmark silently resets its trajectory), so list them explicitly
+    # instead of dropping them from the table.
     only_old = sorted(set(old) - set(new))
     only_new = sorted(set(new) - set(old))
     if only_old:
-        print(f"  [{len(only_old)} baseline-only benchmarks not shown]")
+        print(f"  gone ({len(only_old)} rows in the baseline only):")
+        for suite, name in only_old:
+            old_t, old_unit = old[(suite, name)]
+            print(f"    {suite}  {name}  was {old_t:.3f} {old_unit}")
     if only_new:
-        print(f"  [{len(only_new)} new benchmarks without a baseline]")
+        print(f"  new ({len(only_new)} rows without a baseline):")
+        for suite, name in only_new:
+            new_t, new_unit = new[(suite, name)]
+            print(f"    {suite}  {name}  at {new_t:.3f} {new_unit}")
 
 
 if __name__ == "__main__":

@@ -90,9 +90,12 @@ constexpr const char* kHelp = R"(commands:
   set engine NAME        select the engine used by `query`
   set threads N          worker threads for parallel engines (0 = hardware)
   set max_mappings N     Theorem 1 enumeration budget per query
+  set join_cap N         DP join-order cap (0 = always greedy)
   plan QUERY             show Q^, its relational-algebra plan and SQL
-  explain QUERY          how ra-exact evaluates QUERY: its compiled plan,
-                         plan size and SQL (or the fallback it takes)
+  explain QUERY          how the compiled path evaluates QUERY: its plan
+                         annotated with per-node cardinality estimates,
+                         the join-order decisions, plan size and SQL (or
+                         the fallback it takes)
   help                   this text
   quit                   leave
 query syntax:  (x, y) . exists z. R(x, z) & !S(z, y)   or a sentence)";
@@ -246,9 +249,21 @@ class Shell {
       options_.brute.max_mappings = max;
       current_ = SIZE_MAX;
       std::printf("max_mappings = %llu\n", max);
+    } else if (key == "join_cap") {
+      unsigned long long cap = 0;
+      if (!ParseStrictUint(value, &cap) || cap > 20) {
+        Report(Status::InvalidArgument(
+            "set join_cap expects an integer in [0, 20] (0 = always "
+            "greedy)"));
+        return;
+      }
+      options_.exact.ra_dp_join_cap = static_cast<size_t>(cap);
+      current_ = SIZE_MAX;
+      std::printf("join_cap = %llu\n", cap);
     } else {
       Report(Status::InvalidArgument(
-          "set expects 'engine NAME', 'threads N' or 'max_mappings N'"));
+          "set expects 'engine NAME', 'threads N', 'max_mappings N' or "
+          "'join_cap N'"));
     }
   }
 
@@ -278,16 +293,24 @@ class Shell {
     for (PredId p : lb_->PredicatesWithFacts()) {
       stats.relation_sizes[p] = static_cast<double>(lb_->facts(p).size());
     }
+    stats.dp_join_cap = options_.exact.ra_dp_join_cap;
     RaCompiler compiler(&lb_->vocab(), stats);
     auto plan = compiler.Compile(query.value());
     if (!plan.ok()) {
       std::printf("not compilable to relational algebra: %s\n",
                   plan.status().ToString().c_str());
       std::printf(
-          "ra-exact falls back to the batched evaluator for this query\n");
+          "the compiled engine falls back to the batched evaluator for "
+          "this query\n");
       return;
     }
-    std::printf("%s", plan.value()->ToString(lb_->vocab()).c_str());
+    std::printf("%s", compiler.AnnotatePlan(plan.value()).c_str());
+    for (const JoinOrderInfo& jo : compiler.join_order_log()) {
+      std::printf("join order: %s over %zu conjuncts, est %.3g rows\n",
+                  jo.used_dp ? "DP" : "greedy", jo.conjuncts,
+                  jo.estimated_rows);
+    }
+    std::printf("join_cap: %zu\n", options_.exact.ra_dp_join_cap);
     std::printf("nodes: %zu unique (%zu as a tree)\n",
                 plan.value()->NumUniqueNodes(), plan.value()->NumNodes());
     std::printf("SQL:\n%s\n", EmitSql(lb_->vocab(), plan.value()).c_str());
