@@ -68,6 +68,17 @@ Status CwDatabase::AddFact(std::string_view pred,
   return AddFact(p, std::move(t));
 }
 
+Status CwDatabase::RemoveFact(PredId pred, const Tuple& constants) {
+  if (pred >= vocab_.num_predicates()) {
+    return Status::NotFound("unknown predicate id");
+  }
+  auto it = facts_.find(pred);
+  if (it == facts_.end() || !it->second.Erase(constants)) {
+    return Status::NotFound("fact is not stored");
+  }
+  return Status::OK();
+}
+
 Status CwDatabase::AddDistinct(ConstId a, ConstId b) {
   if (a >= vocab_.num_constants() || b >= vocab_.num_constants()) {
     return Status::NotFound("unknown constant id in uniqueness axiom");

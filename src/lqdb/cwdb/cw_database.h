@@ -70,6 +70,12 @@ class CwDatabase {
   /// *known* constants.
   Status AddFact(std::string_view pred, std::vector<std::string_view> names);
 
+  /// Removes an atomic fact axiom; `NotFound` when the predicate is unknown
+  /// or the fact is not stored. Constants are never removed — dropping the
+  /// last fact about a constant does not shrink `C` (the domain-closure
+  /// axiom still ranges over it).
+  Status RemoveFact(PredId pred, const Tuple& constants);
+
   /// Adds an explicit uniqueness axiom `¬(a = b)` (the `NE'` relation).
   /// Rejected when `a == b` (the theory would be inconsistent).
   Status AddDistinct(ConstId a, ConstId b);

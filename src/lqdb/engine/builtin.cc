@@ -42,6 +42,9 @@ class BruteEngine : public EngineBase {
   uint64_t last_mappings_examined() const override {
     return impl_.last_mappings_examined();
   }
+  KernelMemoCounters last_memo_counters() const override {
+    return impl_.last_memo_counters();
+  }
 
  private:
   BruteForceEvaluator impl_;
@@ -70,6 +73,9 @@ class ExactEngine : public EngineBase {
   }
   uint64_t last_mappings_examined() const override {
     return impl_.last_mappings_examined();
+  }
+  KernelMemoCounters last_memo_counters() const override {
+    return impl_.last_memo_counters();
   }
 
  private:
@@ -101,6 +107,9 @@ class ParallelExactEngine : public EngineBase {
   uint64_t last_mappings_examined() const override {
     return impl_.last_mappings_examined();
   }
+  KernelMemoCounters last_memo_counters() const override {
+    return impl_.last_memo_counters();
+  }
 
  private:
   ParallelExactEvaluator impl_;
@@ -129,6 +138,9 @@ class RaExactEngine : public EngineBase {
   }
   uint64_t last_mappings_examined() const override {
     return impl_.last_mappings_examined();
+  }
+  KernelMemoCounters last_memo_counters() const override {
+    return impl_.last_memo_counters();
   }
 
  private:

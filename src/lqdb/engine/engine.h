@@ -94,6 +94,10 @@ class QueryEngine {
   /// Mappings examined by the most recent call for Theorem 1 engines; 0
   /// for engines that do not enumerate mappings.
   virtual uint64_t last_mappings_examined() const { return 0; }
+
+  /// Kernel-memo counters of the most recent call (eval/kernel_memo.h);
+  /// zeros for engines without memoization or with the memo disabled.
+  virtual KernelMemoCounters last_memo_counters() const { return {}; }
 };
 
 /// Builds an engine over `lb`. Factories may mutate the database's

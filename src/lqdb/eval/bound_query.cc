@@ -16,6 +16,11 @@ void CollectSoPredicates(const FormulaPtr& f, std::set<PredId>* out) {
   for (const auto& c : f->children()) CollectSoPredicates(c, out);
 }
 
+void CollectAtomPredicates(const FormulaPtr& f, std::set<PredId>* out) {
+  if (f->kind() == FormulaKind::kAtom) out->insert(f->pred());
+  for (const auto& c : f->children()) CollectAtomPredicates(c, out);
+}
+
 }  // namespace
 
 Result<BoundQuery> BoundQuery::Bind(const Query& query) {
@@ -35,6 +40,9 @@ Result<BoundQuery> BoundQuery::Bind(const Query& query) {
   std::set<PredId> so_preds;
   CollectSoPredicates(query.body(), &so_preds);
   bound.so_predicates_.assign(so_preds.begin(), so_preds.end());
+  std::set<PredId> preds;
+  CollectAtomPredicates(query.body(), &preds);
+  bound.predicates_.assign(preds.begin(), preds.end());
   return bound;
 }
 

@@ -44,6 +44,14 @@ class BoundQuery {
   /// feasibility walk entirely.
   const std::vector<PredId>& so_predicates() const { return so_predicates_; }
 
+  /// Predicates occurring as atoms anywhere in the body, sorted — the
+  /// query's read set. An update to any other relation cannot change this
+  /// query's answer (second-order quantified relation variables range over
+  /// all extensions regardless of the stored facts), which is what lets the
+  /// service's result cache invalidate by intersection with the updated
+  /// relations.
+  const std::vector<PredId>& predicates() const { return predicates_; }
+
   /// Compiles the query to a relational-algebra plan over `vocab` (see
   /// `RaCompiler`), caching the outcome in the binding: later calls return
   /// the first status without recompiling. On failure — `Unimplemented`
@@ -75,6 +83,7 @@ class BoundQuery {
   const Query* query_;
   std::vector<ConstId> constants_;
   std::vector<PredId> so_predicates_;
+  std::vector<PredId> predicates_;
   PlanPtr ra_plan_;
   bool ra_attempted_ = false;
   Status ra_status_;

@@ -49,10 +49,17 @@ Result<bool> BruteForceEvaluator::Contains(const Query& query,
   CandidateBatch batch;
   PhysicalDatabase image(&lb_->vocab());
   Evaluator eval(&image, options_.eval);
+  // Memoization is especially effective here: the uncanonicalized
+  // enumeration revisits every kernel partition (and hence every
+  // signature) many times. A memo-served falsifying verdict still makes
+  // *this* h a genuine counterexample (its image is isomorphic to the one
+  // the verdict was computed in).
+  KernelMemoState memo(*lb_, bound, options_.memo, options_.memo_max_entries);
+  const KernelMemoSweep sweep = memo.sweep();
   last_mappings_ = ForEachMapping(*lb_, [&](const ConstMapping& h) {
-    ApplyMappingInto(*lb_, h, &image);
-    Status s = EvalCandidatesUnderMapping(&eval, bound, h, candidates,
-                                          nullptr, 1, &batch);
+    Status s = MemoEvalCandidatesUnderMapping(&eval, *lb_, &image, bound, h,
+                                              candidates, nullptr, 1, &batch,
+                                              sweep);
     if (!s.ok()) {
       error = s;
       return false;
@@ -63,6 +70,7 @@ Result<bool> BruteForceEvaluator::Contains(const Query& query,
     }
     return true;
   });
+  last_memo_ = memo.memo.counters();
   if (!error.ok()) return error;
   return contained;
 }
@@ -82,10 +90,12 @@ Result<Relation> BruteForceEvaluator::Answer(const Query& query) {
   CandidateBatch batch;
   PhysicalDatabase image(&lb_->vocab());
   Evaluator eval(&image, options_.eval);
+  KernelMemoState memo(*lb_, bound, options_.memo, options_.memo_max_entries);
+  const KernelMemoSweep sweep = memo.sweep();
   last_mappings_ = ForEachMapping(*lb_, [&](const ConstMapping& h) {
-    ApplyMappingInto(*lb_, h, &image);
-    Status s = EvalCandidatesUnderMapping(&eval, bound, h, alive, nullptr,
-                                          alive.size(), &batch);
+    Status s = MemoEvalCandidatesUnderMapping(&eval, *lb_, &image, bound, h,
+                                              alive, nullptr, alive.size(),
+                                              &batch, sweep);
     if (!s.ok()) {
       error = s;
       return false;
@@ -99,6 +109,7 @@ Result<Relation> BruteForceEvaluator::Answer(const Query& query) {
     alive.resize(kept);
     return !alive.empty();
   });
+  last_memo_ = memo.memo.counters();
   if (!error.ok()) return error;
 
   Relation answer(static_cast<int>(arity));

@@ -5,6 +5,7 @@
 
 #include "lqdb/cwdb/cw_database.h"
 #include "lqdb/eval/evaluator.h"
+#include "lqdb/eval/kernel_memo.h"
 #include "lqdb/logic/query.h"
 #include "lqdb/relational/relation.h"
 #include "lqdb/util/result.h"
@@ -14,6 +15,11 @@ namespace lqdb {
 struct BruteOptions {
   /// Hard cap on the number of mappings (|C|^|C| grows fast).
   uint64_t max_mappings = 50'000'000;
+  /// Kernel-class verdict memoization (see ExactOptions::memo). The brute
+  /// enumeration revisits each kernel partition many times, so the memo
+  /// pays off even more than on the canonical sweep.
+  bool memo = true;
+  size_t memo_max_entries = KernelMemo::kDefaultMaxEntries;
   EvalOptions eval;
 };
 
@@ -38,10 +44,14 @@ class BruteForceEvaluator {
 
   uint64_t last_mappings_examined() const { return last_mappings_; }
 
+  /// Kernel-memo counters of the most recent call (zeros with memo off).
+  const KernelMemoCounters& last_memo_counters() const { return last_memo_; }
+
  private:
   const CwDatabase* lb_;
   BruteOptions options_;
   uint64_t last_mappings_ = 0;
+  KernelMemoCounters last_memo_;
 };
 
 struct ModelEnumOptions {

@@ -1,5 +1,7 @@
 #include "lqdb/exact/exact.h"
 
+#include <optional>
+
 namespace lqdb {
 
 Status ValidateExactCandidate(const CwDatabase& lb, const Query& query,
@@ -50,6 +52,62 @@ Status EvalCandidatesUnderMapping(Evaluator* eval, const BoundQuery& bound,
                               &batch->verdicts);
 }
 
+Status MemoEvalCandidatesUnderMapping(Evaluator* eval, const CwDatabase& lb,
+                                      PhysicalDatabase* image,
+                                      const BoundQuery& bound,
+                                      const ConstMapping& h,
+                                      const std::vector<Tuple>& candidates,
+                                      const uint32_t* subset, size_t count,
+                                      CandidateBatch* batch,
+                                      const KernelMemoSweep& memo) {
+  if (memo.memo == nullptr || !memo.memo->enabled()) {
+    ApplyMappingInto(lb, h, image);
+    return EvalCandidatesUnderMapping(eval, bound, h, candidates, subset,
+                                      count, batch);
+  }
+  const size_t arity = bound.arity();
+  MemoSweepScratch& s = *memo.scratch;
+  memo.ctx->SignatureOf(h, &s.sig);
+  const uint32_t sig_id = memo.memo->InternSignature(s.sig.sig);
+
+  batch->verdicts.resize(count);
+  s.rows.resize(count * arity);
+  s.miss_local.clear();
+  for (size_t k = 0; k < count; ++k) {
+    const Tuple& c = candidates[subset == nullptr ? k : subset[k]];
+    Value* row = s.rows.data() + k * arity;
+    for (size_t i = 0; i < arity; ++i) row[i] = s.sig.relabel[h[c[i]]];
+    const int verdict = memo.memo->LookupRow(sig_id, row, arity);
+    if (verdict < 0) {
+      s.miss_local.push_back(static_cast<uint32_t>(k));
+    } else {
+      batch->verdicts[k] = static_cast<char>(verdict);
+    }
+  }
+  memo.memo->CountLookups(count - s.miss_local.size(), s.miss_local.size());
+  if (s.miss_local.empty()) {
+    memo.memo->CountImageSkipped();
+    return Status::OK();
+  }
+
+  ApplyMappingInto(lb, h, image);
+  s.miss_subset.resize(s.miss_local.size());
+  for (size_t j = 0; j < s.miss_local.size(); ++j) {
+    const uint32_t k = s.miss_local[j];
+    s.miss_subset[j] = subset == nullptr ? k : subset[k];
+  }
+  LQDB_RETURN_IF_ERROR(EvalCandidatesUnderMapping(
+      eval, bound, h, candidates, s.miss_subset.data(), s.miss_subset.size(),
+      &s.miss_batch));
+  for (size_t j = 0; j < s.miss_local.size(); ++j) {
+    const uint32_t k = s.miss_local[j];
+    const bool verdict = s.miss_batch.verdicts[j] != 0;
+    batch->verdicts[k] = static_cast<char>(verdict);
+    memo.memo->InsertRow(sig_id, s.rows.data() + k * arity, arity, verdict);
+  }
+  return Status::OK();
+}
+
 Result<bool> ExactEvaluator::Contains(
     const Query& query, const Tuple& candidate,
     std::optional<Counterexample>* counterexample) {
@@ -66,20 +124,24 @@ Result<bool> ExactEvaluator::Contains(
   CandidateBatch batch;
   PhysicalDatabase image(&lb_->vocab());
   Evaluator eval(&image, options_.eval);
+  KernelMemoState memo(*lb_, bound, options_.memo, options_.memo_max_entries);
+  const KernelMemoSweep sweep = memo.sweep();
   ForEachCanonicalMapping(*lb_, [&](const ConstMapping& h) {
     if (++examined > options_.max_mappings) {
       error = Status::ResourceExhausted(
           "exceeded max_mappings = " + std::to_string(options_.max_mappings));
       return false;
     }
-    ApplyMappingInto(*lb_, h, &image);
-    Status s = EvalCandidatesUnderMapping(&eval, bound, h, candidates,
-                                          nullptr, 1, &batch);
+    Status s = MemoEvalCandidatesUnderMapping(&eval, *lb_, &image, bound, h,
+                                              candidates, nullptr, 1, &batch,
+                                              sweep);
     if (!s.ok()) {
       error = s;
       return false;
     }
     if (!batch.verdicts[0]) {
+      // A memo-served falsifying verdict still makes *this* h a genuine
+      // counterexample: its image is isomorphic to the one evaluated.
       contained = false;
       if (counterexample != nullptr) *counterexample = Counterexample{h};
       return false;  // first counterexample settles membership
@@ -87,6 +149,7 @@ Result<bool> ExactEvaluator::Contains(
     return true;
   });
   last_mappings_ = examined;
+  last_memo_ = memo.memo.counters();
   if (!error.ok()) return error;
   return contained;
 }
@@ -107,15 +170,17 @@ Result<bool> ExactEvaluator::IsPossible(
   CandidateBatch batch;
   PhysicalDatabase image(&lb_->vocab());
   Evaluator eval(&image, options_.eval);
+  KernelMemoState memo(*lb_, bound, options_.memo, options_.memo_max_entries);
+  const KernelMemoSweep sweep = memo.sweep();
   ForEachCanonicalMapping(*lb_, [&](const ConstMapping& h) {
     if (++examined > options_.max_mappings) {
       error = Status::ResourceExhausted(
           "exceeded max_mappings = " + std::to_string(options_.max_mappings));
       return false;
     }
-    ApplyMappingInto(*lb_, h, &image);
-    Status s = EvalCandidatesUnderMapping(&eval, bound, h, candidates,
-                                          nullptr, 1, &batch);
+    Status s = MemoEvalCandidatesUnderMapping(&eval, *lb_, &image, bound, h,
+                                              candidates, nullptr, 1, &batch,
+                                              sweep);
     if (!s.ok()) {
       error = s;
       return false;
@@ -128,6 +193,7 @@ Result<bool> ExactEvaluator::IsPossible(
     return true;
   });
   last_mappings_ = examined;
+  last_memo_ = memo.memo.counters();
   if (!error.ok()) return error;
   return possible;
 }
@@ -153,15 +219,17 @@ Result<Relation> ExactEvaluator::PossibleAnswerBound(const BoundQuery& bound) {
   CandidateBatch batch;
   PhysicalDatabase image(&lb_->vocab());
   Evaluator eval(&image, options_.eval);
+  KernelMemoState memo(*lb_, bound, options_.memo, options_.memo_max_entries);
+  const KernelMemoSweep sweep = memo.sweep();
   ForEachCanonicalMapping(*lb_, [&](const ConstMapping& h) {
     if (++examined > options_.max_mappings) {
       error = Status::ResourceExhausted(
           "exceeded max_mappings = " + std::to_string(options_.max_mappings));
       return false;
     }
-    ApplyMappingInto(*lb_, h, &image);
-    Status s = EvalCandidatesUnderMapping(&eval, bound, h, pending, nullptr,
-                                          pending.size(), &batch);
+    Status s = MemoEvalCandidatesUnderMapping(&eval, *lb_, &image, bound, h,
+                                              pending, nullptr, pending.size(),
+                                              &batch, sweep);
     if (!s.ok()) {
       error = s;
       return false;
@@ -179,6 +247,7 @@ Result<Relation> ExactEvaluator::PossibleAnswerBound(const BoundQuery& bound) {
     return !pending.empty();  // nothing left to prove possible
   });
   last_mappings_ = examined;
+  last_memo_ = memo.memo.counters();
   if (!error.ok()) return error;
   return answer;
 }
@@ -202,15 +271,17 @@ Result<Relation> ExactEvaluator::AnswerBound(const BoundQuery& bound) {
   CandidateBatch batch;
   PhysicalDatabase image(&lb_->vocab());
   Evaluator eval(&image, options_.eval);
+  KernelMemoState memo(*lb_, bound, options_.memo, options_.memo_max_entries);
+  const KernelMemoSweep sweep = memo.sweep();
   ForEachCanonicalMapping(*lb_, [&](const ConstMapping& h) {
     if (++examined > options_.max_mappings) {
       error = Status::ResourceExhausted(
           "exceeded max_mappings = " + std::to_string(options_.max_mappings));
       return false;
     }
-    ApplyMappingInto(*lb_, h, &image);
-    Status s = EvalCandidatesUnderMapping(&eval, bound, h, alive, nullptr,
-                                          alive.size(), &batch);
+    Status s = MemoEvalCandidatesUnderMapping(&eval, *lb_, &image, bound, h,
+                                              alive, nullptr, alive.size(),
+                                              &batch, sweep);
     if (!s.ok()) {
       error = s;
       return false;
@@ -225,6 +296,7 @@ Result<Relation> ExactEvaluator::AnswerBound(const BoundQuery& bound) {
     return !alive.empty();  // nothing left to disprove
   });
   last_mappings_ = examined;
+  last_memo_ = memo.memo.counters();
   if (!error.ok()) return error;
 
   Relation answer(static_cast<int>(arity));

@@ -8,6 +8,7 @@
 #include "lqdb/cwdb/mapping.h"
 #include "lqdb/eval/bound_query.h"
 #include "lqdb/eval/evaluator.h"
+#include "lqdb/eval/kernel_memo.h"
 #include "lqdb/logic/query.h"
 #include "lqdb/relational/relation.h"
 #include "lqdb/util/result.h"
@@ -25,6 +26,16 @@ struct ExactOptions {
   /// conjuncts get DP ordering, larger ones the greedy pass; 0 disables
   /// the DP. Shell knob: `set join_cap <n>`.
   size_t ra_dp_join_cap = 10;
+  /// Kernel-class verdict memoization (eval/kernel_memo.h): per-mapping
+  /// signatures over the query-relevant constants let signature-equivalent
+  /// images share candidate verdicts within one call, skipping the image
+  /// build entirely on a full hit. Answers are bit-identical either way
+  /// (pinned by the differential suite); the toggle exists for A/B runs
+  /// (`set memo on|off` in the shell).
+  bool memo = true;
+  /// Entry cap of the per-call verdict table; beyond it the memo saturates
+  /// (stops inserting, never evicts).
+  size_t memo_max_entries = KernelMemo::kDefaultMaxEntries;
   EvalOptions eval;
 };
 
@@ -64,6 +75,65 @@ Status EvalCandidatesUnderMapping(Evaluator* eval, const BoundQuery& bound,
                                   const std::vector<Tuple>& candidates,
                                   const uint32_t* subset, size_t count,
                                   CandidateBatch* batch);
+
+/// Per-thread scratch of the memoized sweep (`MemoEvalCandidatesUnderMapping`).
+struct MemoSweepScratch {
+  KernelSignatureScratch sig;
+  std::vector<Value> rows;           // relabeled candidate rows, count × arity
+  std::vector<uint32_t> miss_local;  // sweep positions the memo could not serve
+  std::vector<uint32_t> miss_subset; // their global candidate indices
+  CandidateBatch miss_batch;
+};
+
+/// One engine call's memoization hookup: a verdict table (shared across
+/// workers for the parallel engine), the signature context of the call's
+/// query, and this thread's scratch. A null `memo` (or a disabled one)
+/// makes `MemoEvalCandidatesUnderMapping` behave exactly like
+/// `ApplyMappingInto` + `EvalCandidatesUnderMapping`.
+struct KernelMemoSweep {
+  KernelMemo* memo = nullptr;
+  const KernelSignatureContext* ctx = nullptr;
+  MemoSweepScratch* scratch = nullptr;
+};
+
+/// Per-call owner of the memoization machinery used by the sequential
+/// engines (exact, brute): one verdict table, the query's signature
+/// context, and the call's scratch. The memo's lifetime is one
+/// Answer/Contains call — cross-call reuse is the service layer's result
+/// cache, which also knows when the database changed. The parallel engine
+/// shares `memo`/`ctx` across workers but gives each its own scratch.
+struct KernelMemoState {
+  KernelMemoState(const CwDatabase& lb, const BoundQuery& bound, bool enabled,
+                  size_t max_entries)
+      : memo(enabled, max_entries) {
+    if (enabled) ctx.emplace(lb, bound.constants());
+  }
+
+  KernelMemoSweep sweep() {
+    if (!memo.enabled()) return {};
+    return {&memo, &*ctx, &scratch};
+  }
+
+  KernelMemo memo;
+  std::optional<KernelSignatureContext> ctx;
+  MemoSweepScratch scratch;
+};
+
+/// The memo-wrapped per-mapping inner loop: consults the kernel-signature
+/// table before touching the image — when every swept candidate's verdict
+/// is already known the image database is never built — and otherwise
+/// applies the mapping and evaluates only the missing candidates, recording
+/// their verdicts. Fills `batch->verdicts` exactly as
+/// `EvalCandidatesUnderMapping` would (same contract, same answers), with
+/// `image`/`eval` the caller's scratch image database and its evaluator.
+Status MemoEvalCandidatesUnderMapping(Evaluator* eval, const CwDatabase& lb,
+                                      PhysicalDatabase* image,
+                                      const BoundQuery& bound,
+                                      const ConstMapping& h,
+                                      const std::vector<Tuple>& candidates,
+                                      const uint32_t* subset, size_t count,
+                                      CandidateBatch* batch,
+                                      const KernelMemoSweep& memo);
 
 /// A witness that a tuple is *not* in `Q(LB)`: a mapping `h` respecting the
 /// uniqueness axioms with `h(c) ∉ Q(h(Ph₁(LB)))` — i.e. a model of `T`
@@ -123,10 +193,14 @@ class ExactEvaluator {
   /// Mappings examined by the most recent call (for the E1/E7 benches).
   uint64_t last_mappings_examined() const { return last_mappings_; }
 
+  /// Kernel-memo counters of the most recent call (zeros with memo off).
+  const KernelMemoCounters& last_memo_counters() const { return last_memo_; }
+
  private:
   const CwDatabase* lb_;
   ExactOptions options_;
   uint64_t last_mappings_ = 0;
+  KernelMemoCounters last_memo_;
 };
 
 }  // namespace lqdb

@@ -15,11 +15,14 @@ namespace {
 
 /// Per-worker evaluation state: one evaluator bound to the worker's scratch
 /// image database, plus the batch buffers reused for every mapping the
-/// worker examines.
+/// worker examines. The kernel-memo verdict table is shared across workers
+/// (lock-free reads); only `memo`'s scratch buffers are per-worker.
 struct WorkerScratch {
   Evaluator* eval;
+  PhysicalDatabase* image;
   CandidateBatch batch;
   std::vector<uint32_t> open;  // per-mapping snapshot of open candidates
+  MemoSweepScratch memo;
 };
 
 }  // namespace
@@ -90,7 +93,7 @@ class ParallelExactEvaluator::Walk {
     // buffer set, reused for every mapping this worker examines.
     PhysicalDatabase image(&lb_->vocab());
     Evaluator eval(&image, options_.base.eval);
-    WorkerScratch scratch{&eval, {}, {}};
+    WorkerScratch scratch{&eval, &image, {}, {}, {}};
     std::vector<MappingRange> remainder;
     const uint64_t chunk = std::max<uint64_t>(1, options_.steal_chunk);
 
@@ -126,7 +129,9 @@ class ParallelExactEvaluator::Walk {
                   std::to_string(options_.base.max_mappings)));
               return false;
             }
-            ApplyMappingInto(*lb_, h, &image);
+            // The mapping is applied inside the per-mapping callback (via
+            // MemoEvalCandidatesUnderMapping) so a full memo hit skips the
+            // image build entirely.
             return per_mapping(h, &scratch);
           },
           &remainder);
@@ -184,10 +189,20 @@ Result<bool> ParallelExactEvaluator::ContainsImpl(
   ConstMapping decisive_h;
 
   const std::vector<Tuple> candidates = {candidate};
+  // One verdict table for the whole fan-out: reads are lock-free, and the
+  // signature context is immutable after construction, so workers share
+  // both safely. Each worker brings its own scratch buffers.
+  KernelMemoState memo(*lb_, bound, options_.base.memo,
+                       options_.base.memo_max_entries);
   Walk walk(lb_, options_, pool_.get());
   walk.Run([&](const ConstMapping& h, WorkerScratch* scratch) {
-    Status s = EvalCandidatesUnderMapping(scratch->eval, bound, h, candidates,
-                                          nullptr, 1, &scratch->batch);
+    const KernelMemoSweep sweep{&memo.memo,
+                                memo.ctx ? &*memo.ctx : nullptr,
+                                &scratch->memo};
+    Status s = MemoEvalCandidatesUnderMapping(scratch->eval, *lb_,
+                                              scratch->image, bound, h,
+                                              candidates, nullptr, 1,
+                                              &scratch->batch, sweep);
     if (!s.ok()) {
       walk.RecordError(std::move(s));
       return false;
@@ -207,6 +222,7 @@ Result<bool> ParallelExactEvaluator::ContainsImpl(
   });
   last_mappings_ = walk.examined();
   last_worker_ranges_ = walk.worker_ranges();
+  last_memo_ = memo.memo.counters();
   // A recorded decision wins over a concurrent budget error: once some
   // worker found the decisive mapping, the verdict is final, even if
   // another worker drove the shared examined_ counter past max_mappings
@@ -256,6 +272,9 @@ Result<Relation> ParallelExactEvaluator::AnswerImpl(const BoundQuery& bound,
   std::atomic<size_t> remaining{candidates.size()};
   std::atomic<bool> all_decided{candidates.size() == 0};
 
+  // Shared verdict table + signature context (see ContainsImpl).
+  KernelMemoState memo(*lb_, bound, options_.base.memo,
+                       options_.base.memo_max_entries);
   Walk walk(lb_, options_, pool_.get());
   walk.Run([&](const ConstMapping& h, WorkerScratch* scratch) {
     // Snapshot the open candidates and sweep them against this image in
@@ -267,9 +286,12 @@ Result<Relation> ParallelExactEvaluator::AnswerImpl(const BoundQuery& bound,
       }
     }
     if (scratch->open.empty()) return true;  // raced with the last decision
-    Status s = EvalCandidatesUnderMapping(
-        scratch->eval, bound, h, candidates, scratch->open.data(),
-        scratch->open.size(), &scratch->batch);
+    const KernelMemoSweep sweep{&memo.memo,
+                                memo.ctx ? &*memo.ctx : nullptr,
+                                &scratch->memo};
+    Status s = MemoEvalCandidatesUnderMapping(
+        scratch->eval, *lb_, scratch->image, bound, h, candidates,
+        scratch->open.data(), scratch->open.size(), &scratch->batch, sweep);
     if (!s.ok()) {
       walk.RecordError(std::move(s));
       return false;
@@ -291,6 +313,7 @@ Result<Relation> ParallelExactEvaluator::AnswerImpl(const BoundQuery& bound,
   });
   last_mappings_ = walk.examined();
   last_worker_ranges_ = walk.worker_ranges();
+  last_memo_ = memo.memo.counters();
   // As in ContainsImpl: a fully decided candidate set is a final,
   // order-independent answer, so it wins over a budget error raised by a
   // worker that was still mid-chunk when the last candidate fell.

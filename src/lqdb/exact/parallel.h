@@ -98,6 +98,10 @@ class ParallelExactEvaluator {
   /// Mappings examined by the most recent call, summed across workers.
   uint64_t last_mappings_examined() const { return last_mappings_; }
 
+  /// Kernel-memo counters of the most recent call, summed across workers
+  /// (zeros with memo off).
+  const KernelMemoCounters& last_memo_counters() const { return last_memo_; }
+
   /// Ranges (work-stealing chunks) retired per worker by the most recent
   /// call, indexed by worker; sums over the whole fan-out. Under early exit
   /// some workers may legitimately retire zero.
@@ -120,6 +124,7 @@ class ParallelExactEvaluator {
   ParallelExactOptions options_;
   std::unique_ptr<ThreadPool> pool_;
   uint64_t last_mappings_ = 0;
+  KernelMemoCounters last_memo_;
   std::vector<uint64_t> last_worker_ranges_;
 };
 

@@ -39,6 +39,92 @@ std::string CacheKey(const Vocabulary& vocab, const Query& query) {
   return key;
 }
 
+/// Per-call memoization state of the RA sweeps — the RA analogue of
+/// `KernelMemoState`, with the scratch the compiled path needs.
+struct RaMemoState {
+  RaMemoState(const CwDatabase& lb, const BoundQuery& bound,
+              const ExactOptions& options)
+      : memo(options.memo, options.memo_max_entries) {
+    if (memo.enabled()) ctx.emplace(lb, bound.constants());
+  }
+
+  KernelMemo memo;
+  std::optional<KernelSignatureContext> ctx;
+  KernelSignatureScratch sig;
+  std::vector<Value> rows;     // relabeled memo-key rows, count × arity
+  std::vector<uint32_t> miss;  // candidate positions the memo could not serve
+};
+
+/// One mapping of an RA Theorem 1 sweep, memo first: fills `verdicts[k]`
+/// with candidate k's truth under the image of `h`, consulting the kernel
+/// memo before touching the image — a full hit skips both the image build
+/// and the plan execution — and otherwise running the (semijoin-reduced)
+/// plan with only the missing candidates bound to the parameter.
+Status RaEvalUnderMapping(const CwDatabase& lb, const ConstMapping& h,
+                          const ReducedPlan& red, RaExecutor* exec,
+                          PhysicalDatabase* image, size_t arity,
+                          const std::vector<Tuple>& candidates,
+                          RaMemoState* memo, std::vector<char>* verdicts,
+                          std::vector<Value>* cand) {
+  const size_t count = candidates.size();
+  verdicts->resize(count);
+  const bool use_memo = memo->memo.enabled();
+  uint32_t sig_id = 0;
+  memo->miss.clear();
+  if (use_memo) {
+    memo->ctx->SignatureOf(h, &memo->sig);
+    sig_id = memo->memo.InternSignature(memo->sig.sig);
+    memo->rows.resize(count * arity);
+    for (size_t k = 0; k < count; ++k) {
+      const Tuple& c = candidates[k];
+      Value* row = memo->rows.data() + k * arity;
+      for (size_t i = 0; i < arity; ++i) row[i] = memo->sig.relabel[h[c[i]]];
+      const int v = memo->memo.LookupRow(sig_id, row, arity);
+      if (v < 0) {
+        memo->miss.push_back(static_cast<uint32_t>(k));
+      } else {
+        (*verdicts)[k] = static_cast<char>(v);
+      }
+    }
+    memo->memo.CountLookups(count - memo->miss.size(), memo->miss.size());
+    if (memo->miss.empty()) {
+      memo->memo.CountImageSkipped();
+      return Status::OK();
+    }
+  } else {
+    memo->miss.resize(count);
+    for (size_t k = 0; k < count; ++k) {
+      memo->miss[k] = static_cast<uint32_t>(k);
+    }
+  }
+
+  ApplyMappingInto(lb, h, image);
+  const size_t misses = memo->miss.size();
+  cand->resize(misses * arity);
+  for (size_t j = 0; j < misses; ++j) {
+    const Tuple& c = candidates[memo->miss[j]];
+    for (size_t i = 0; i < arity; ++i) (*cand)[j * arity + i] = h[c[i]];
+  }
+  // Binding only the misses is sound: the semijoin contract guarantees
+  // membership answers for exactly the rows in the parameter set, and the
+  // hits were answered from the memo.
+  if (red.param != nullptr) {
+    exec->BindParam(red.param.get(), cand->data(), misses);
+  }
+  Result<const RaTableView*> table = exec->ExecuteView(red.plan);
+  if (!table.ok()) return table.status();
+  for (size_t j = 0; j < misses; ++j) {
+    const uint32_t k = memo->miss[j];
+    const bool verdict = (*table)->rows.Contains(cand->data() + j * arity);
+    (*verdicts)[k] = static_cast<char>(verdict);
+    if (use_memo) {
+      memo->memo.InsertRow(sig_id, memo->rows.data() + k * arity, arity,
+                           verdict);
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 const ReducedPlan& RaExactEvaluator::ReducedFor(const PlanPtr& plan) {
@@ -96,6 +182,7 @@ Result<Relation> RaExactEvaluator::AnswerPrepared(const BoundQuery& bound) {
     last_used_ra_ = false;
     Result<Relation> out = fallback_.AnswerBound(bound);
     last_mappings_ = fallback_.last_mappings_examined();
+    last_memo_ = fallback_.last_memo_counters();
     return out;
   }
   last_used_ra_ = true;
@@ -115,30 +202,24 @@ Result<Relation> RaExactEvaluator::AnswerPrepared(const BoundQuery& bound) {
   uint64_t examined = 0;
   PhysicalDatabase image(&lb_->vocab());
   RaExecutor exec(&image);
+  RaMemoState memo(*lb_, bound, options_);
   std::vector<Value> cand;
+  std::vector<char> verdicts;
   ForEachCanonicalMapping(*lb_, [&](const ConstMapping& h) {
     if (++examined > options_.max_mappings) {
       error = Status::ResourceExhausted(
           "exceeded max_mappings = " + std::to_string(options_.max_mappings));
       return false;
     }
-    ApplyMappingInto(*lb_, h, &image);
-    cand.resize(alive.size() * arity);
-    for (size_t k = 0; k < alive.size(); ++k) {
-      const Tuple& c = alive[k];
-      for (size_t i = 0; i < arity; ++i) cand[k * arity + i] = h[c[i]];
-    }
-    if (red.param != nullptr) {
-      exec.BindParam(red.param.get(), cand.data(), alive.size());
-    }
-    Result<const RaTableView*> table = exec.ExecuteView(red.plan);
-    if (!table.ok()) {
-      error = table.status();
+    Status s = RaEvalUnderMapping(*lb_, h, red, &exec, &image, arity, alive,
+                                  &memo, &verdicts, &cand);
+    if (!s.ok()) {
+      error = s;
       return false;
     }
     size_t kept = 0;
     for (size_t k = 0; k < alive.size(); ++k) {
-      if (!(*table)->rows.Contains(cand.data() + k * arity)) continue;
+      if (!verdicts[k]) continue;
       if (kept != k) alive[kept] = std::move(alive[k]);
       ++kept;
     }
@@ -146,6 +227,7 @@ Result<Relation> RaExactEvaluator::AnswerPrepared(const BoundQuery& bound) {
     return !alive.empty();  // nothing left to disprove
   });
   last_mappings_ = examined;
+  last_memo_ = memo.memo.counters();
   if (!error.ok()) return error;
 
   Relation answer(static_cast<int>(arity));
@@ -162,6 +244,7 @@ Result<bool> RaExactEvaluator::Contains(const Query& query,
     last_used_ra_ = false;
     Result<bool> out = fallback_.Contains(query, candidate);
     last_mappings_ = fallback_.last_mappings_examined();
+    last_memo_ = fallback_.last_memo_counters();
     return out;
   }
   last_used_ra_ = true;
@@ -173,33 +256,35 @@ Result<bool> RaExactEvaluator::Contains(const Query& query,
   uint64_t examined = 0;
   PhysicalDatabase image(&lb_->vocab());
   RaExecutor exec(&image);
+  RaMemoState memo(*lb_, bound, options_);
   // A single-candidate sweep is where the reduction bites hardest: every
   // scan is filtered down to rows matching the one mapped tuple before any
-  // join runs.
-  std::vector<Value> cand(arity);
+  // join runs. A memo-served falsifying verdict still makes *this* h a
+  // genuine counterexample (its image is isomorphic to the one the verdict
+  // was computed in).
+  const std::vector<Tuple> candidates = {candidate};
+  std::vector<Value> cand;
+  std::vector<char> verdicts;
   ForEachCanonicalMapping(*lb_, [&](const ConstMapping& h) {
     if (++examined > options_.max_mappings) {
       error = Status::ResourceExhausted(
           "exceeded max_mappings = " + std::to_string(options_.max_mappings));
       return false;
     }
-    ApplyMappingInto(*lb_, h, &image);
-    for (size_t i = 0; i < arity; ++i) cand[i] = h[candidate[i]];
-    if (red.param != nullptr) {
-      exec.BindParam(red.param.get(), cand.data(), 1);
-    }
-    Result<const RaTableView*> table = exec.ExecuteView(red.plan);
-    if (!table.ok()) {
-      error = table.status();
+    Status s = RaEvalUnderMapping(*lb_, h, red, &exec, &image, arity,
+                                  candidates, &memo, &verdicts, &cand);
+    if (!s.ok()) {
+      error = s;
       return false;
     }
-    if (!(*table)->rows.Contains(cand.data())) {
+    if (!verdicts[0]) {
       contained = false;
       return false;  // first counterexample settles membership
     }
     return true;
   });
   last_mappings_ = examined;
+  last_memo_ = memo.memo.counters();
   if (!error.ok()) return error;
   return contained;
 }
@@ -223,6 +308,7 @@ Result<Relation> RaExactEvaluator::PossiblePrepared(const BoundQuery& bound) {
     last_used_ra_ = false;
     Result<Relation> out = fallback_.PossibleAnswerBound(bound);
     last_mappings_ = fallback_.last_mappings_examined();
+    last_memo_ = fallback_.last_memo_counters();
     return out;
   }
   last_used_ra_ = true;
@@ -240,30 +326,24 @@ Result<Relation> RaExactEvaluator::PossiblePrepared(const BoundQuery& bound) {
   uint64_t examined = 0;
   PhysicalDatabase image(&lb_->vocab());
   RaExecutor exec(&image);
+  RaMemoState memo(*lb_, bound, options_);
   std::vector<Value> cand;
+  std::vector<char> verdicts;
   ForEachCanonicalMapping(*lb_, [&](const ConstMapping& h) {
     if (++examined > options_.max_mappings) {
       error = Status::ResourceExhausted(
           "exceeded max_mappings = " + std::to_string(options_.max_mappings));
       return false;
     }
-    ApplyMappingInto(*lb_, h, &image);
-    cand.resize(pending.size() * arity);
-    for (size_t k = 0; k < pending.size(); ++k) {
-      const Tuple& c = pending[k];
-      for (size_t i = 0; i < arity; ++i) cand[k * arity + i] = h[c[i]];
-    }
-    if (red.param != nullptr) {
-      exec.BindParam(red.param.get(), cand.data(), pending.size());
-    }
-    Result<const RaTableView*> table = exec.ExecuteView(red.plan);
-    if (!table.ok()) {
-      error = table.status();
+    Status s = RaEvalUnderMapping(*lb_, h, red, &exec, &image, arity, pending,
+                                  &memo, &verdicts, &cand);
+    if (!s.ok()) {
+      error = s;
       return false;
     }
     size_t kept = 0;
     for (size_t k = 0; k < pending.size(); ++k) {
-      if ((*table)->rows.Contains(cand.data() + k * arity)) {
+      if (verdicts[k]) {
         answer.Insert(std::move(pending[k]));
       } else {
         if (kept != k) pending[kept] = std::move(pending[k]);
@@ -274,6 +354,7 @@ Result<Relation> RaExactEvaluator::PossiblePrepared(const BoundQuery& bound) {
     return !pending.empty();  // nothing left to prove possible
   });
   last_mappings_ = examined;
+  last_memo_ = memo.memo.counters();
   if (!error.ok()) return error;
   return answer;
 }

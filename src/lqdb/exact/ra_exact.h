@@ -64,6 +64,10 @@ class RaExactEvaluator {
   /// Mappings examined by the most recent call.
   uint64_t last_mappings_examined() const { return last_mappings_; }
 
+  /// Kernel-memo counters of the most recent call (zeros with memo off;
+  /// the fallback path reports the fallback evaluator's counters).
+  const KernelMemoCounters& last_memo_counters() const { return last_memo_; }
+
   /// Whether the most recent call executed the compiled RA plan (as opposed
   /// to taking the evaluator fallback).
   bool last_used_ra() const { return last_used_ra_; }
@@ -93,6 +97,7 @@ class RaExactEvaluator {
   ExactOptions options_;
   ExactEvaluator fallback_;
   uint64_t last_mappings_ = 0;
+  KernelMemoCounters last_memo_;
   bool last_used_ra_ = false;
   /// Query identity → compiled plan; null = known uncompilable.
   std::map<std::string, PlanPtr> plan_cache_;

@@ -29,6 +29,9 @@ class Relation {
 
   bool Contains(const Tuple& t) const { return tuples_.count(t) > 0; }
 
+  /// Removes `t`; returns true when the tuple was present.
+  bool Erase(const Tuple& t) { return tuples_.erase(t) > 0; }
+
   /// Removes every tuple but keeps the hash-table capacity, so a relation
   /// used as enumeration scratch does not reallocate its buckets per use.
   void Clear() { tuples_.clear(); }

@@ -4,13 +4,14 @@
 
 namespace lqdb {
 
-Result<std::shared_ptr<PreparedQuery>> PreparedQuery::Make(std::string text,
-                                                           std::string engine,
-                                                           Query query) {
+Result<std::shared_ptr<PreparedQuery>> PreparedQuery::Make(
+    std::string text, std::string engine, std::string options_key,
+    Query query) {
   // The binding borrows the query by address, so the query must reach its
   // final storage (inside the heap-pinned PreparedQuery) before Bind runs.
   std::shared_ptr<PreparedQuery> out(new PreparedQuery(
-      std::move(text), std::move(engine), std::move(query)));
+      std::move(text), std::move(engine), std::move(options_key),
+      std::move(query)));
   LQDB_ASSIGN_OR_RETURN(BoundQuery bound, BoundQuery::Bind(out->query_));
   out->bound_.emplace(std::move(bound));
   return out;
@@ -24,11 +25,10 @@ PreparedCache::PreparedCache(size_t num_shards) {
   }
 }
 
-std::shared_ptr<PreparedQuery> PreparedCache::Find(const std::string& engine,
-                                                   const std::string& text,
-                                                   PreparedHandle* handle)
-    const {
-  const std::string key = KeyOf(engine, text);
+std::shared_ptr<PreparedQuery> PreparedCache::Find(
+    const std::string& engine, const std::string& options_key,
+    const std::string& text, PreparedHandle* handle) const {
+  const std::string key = KeyOf(engine, options_key, text);
   const Shard& shard = *shards_[ShardOf(key)];
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.by_key.find(key);
@@ -40,7 +40,8 @@ std::shared_ptr<PreparedQuery> PreparedCache::Find(const std::string& engine,
 std::shared_ptr<PreparedQuery> PreparedCache::Insert(
     std::shared_ptr<PreparedQuery> entry, PreparedHandle* handle,
     bool* inserted) {
-  const std::string key = KeyOf(entry->engine(), entry->text());
+  const std::string key =
+      KeyOf(entry->engine(), entry->options_key(), entry->text());
   const size_t index = ShardOf(key);
   Shard& shard = *shards_[index];
   std::lock_guard<std::mutex> lock(shard.mu);

@@ -27,14 +27,20 @@ using PreparedHandle = uint64_t;
 /// preparation, so any number of sessions may execute one concurrently.
 class PreparedQuery {
  public:
-  /// Binds `query` in place. `text` is the source text (the cache key);
-  /// `engine` the engine name the statement was prepared under.
+  /// Binds `query` in place. `text` is the source text; `engine` the engine
+  /// name and `options_key` the engine-options fingerprint
+  /// (`EngineOptionsFingerprint`) the statement was prepared under — all
+  /// three are the cache key: a statement prepared under one options
+  /// profile (join-order cap, evaluation budgets) must not be served to a
+  /// session running a different one.
   static Result<std::shared_ptr<PreparedQuery>> Make(std::string text,
                                                      std::string engine,
+                                                     std::string options_key,
                                                      Query query);
 
   const std::string& text() const { return text_; }
   const std::string& engine() const { return engine_; }
+  const std::string& options_key() const { return options_key_; }
   const Query& query() const { return query_; }
   const BoundQuery& bound() const { return *bound_; }
 
@@ -43,13 +49,16 @@ class PreparedQuery {
   BoundQuery* mutable_bound() { return &*bound_; }
 
  private:
-  PreparedQuery(std::string text, std::string engine, Query query)
+  PreparedQuery(std::string text, std::string engine, std::string options_key,
+                Query query)
       : text_(std::move(text)),
         engine_(std::move(engine)),
+        options_key_(std::move(options_key)),
         query_(std::move(query)) {}
 
   std::string text_;
   std::string engine_;
+  std::string options_key_;
   Query query_;
   std::optional<BoundQuery> bound_;
 };
@@ -70,6 +79,7 @@ class PreparedCache {
 
   /// Looks up a prepared statement; returns it (filling `*handle`) or null.
   std::shared_ptr<PreparedQuery> Find(const std::string& engine,
+                                      const std::string& options_key,
                                       const std::string& text,
                                       PreparedHandle* handle) const;
 
@@ -92,15 +102,18 @@ class PreparedCache {
  private:
   struct Shard {
     mutable std::mutex mu;
-    /// engine + '\n' + text → handle (engine names contain no newline).
+    /// engine + '\n' + options key + '\n' + text → handle (engine names
+    /// and options keys contain no newline).
     std::unordered_map<std::string, PreparedHandle> by_key;
     std::unordered_map<PreparedHandle, std::shared_ptr<PreparedQuery>>
         by_handle;
     uint64_t next = 0;  // shard-local dense counter
   };
 
-  static std::string KeyOf(const std::string& engine, const std::string& text) {
-    return engine + '\n' + text;
+  static std::string KeyOf(const std::string& engine,
+                           const std::string& options_key,
+                           const std::string& text) {
+    return engine + '\n' + options_key + '\n' + text;
   }
   size_t ShardOf(const std::string& key) const {
     return std::hash<std::string>{}(key) % shards_.size();

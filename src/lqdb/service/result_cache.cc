@@ -1,0 +1,56 @@
+#include "lqdb/service/result_cache.h"
+
+#include <utility>
+
+namespace lqdb {
+
+bool ResultCache::IsValid(const Entry& entry, uint64_t global_change,
+                          const std::vector<uint64_t>& pred_change) const {
+  if (entry.version < global_change) return false;
+  for (PredId p : entry.reads) {
+    // A predicate beyond the vector was never updated.
+    if (p < pred_change.size() && entry.version < pred_change[p]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::optional<Relation> ResultCache::Lookup(
+    const std::string& key, uint64_t global_change,
+    const std::vector<uint64_t>& pred_change) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  if (!IsValid(it->second, global_change, pred_change)) {
+    entries_.erase(it);
+    ++invalidations_;
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  return it->second.answer;
+}
+
+void ResultCache::Insert(const std::string& key, const Relation& answer,
+                         uint64_t version, std::vector<PredId> reads) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.count(key) > 0) return;  // first writer wins
+  if (entries_.size() >= max_entries_) return;
+  entries_.emplace(key, Entry{answer, version, std::move(reads)});
+}
+
+ResultCacheStats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ResultCacheStats out;
+  out.hits = hits_;
+  out.misses = misses_;
+  out.invalidations = invalidations_;
+  out.entries = entries_.size();
+  return out;
+}
+
+}  // namespace lqdb

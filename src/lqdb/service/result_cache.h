@@ -1,0 +1,90 @@
+#ifndef LQDB_SERVICE_RESULT_CACHE_H_
+#define LQDB_SERVICE_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "lqdb/logic/vocabulary.h"
+#include "lqdb/relational/relation.h"
+
+namespace lqdb {
+
+/// Counters of one result cache (monotone).
+struct ResultCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  /// Stale entries discovered (and dropped) at lookup time.
+  uint64_t invalidations = 0;
+  /// Entries currently stored.
+  uint64_t entries = 0;
+};
+
+/// Cross-execution answer cache of the service layer: maps (engine, engine
+/// options, query identity) — the caller-built string key — to a finished
+/// answer relation, validated against the database's change epochs at
+/// lookup time.
+///
+/// Versioning: the service stamps every entry with the database version it
+/// was computed at and tracks, per relation, the version of the last update
+/// touching it (plus one global epoch for changes that can affect *every*
+/// query, i.e. growth of the constant set — the Theorem 1 answer
+/// quantifies over all of `C`). An entry is valid iff it is newer than the
+/// global epoch and newer than the last update of every relation in its
+/// read set; a query's answer provably cannot depend on updates to
+/// relations it never reads (`BoundQuery::predicates()`), which is what
+/// makes this intersection rule exact rather than a heuristic.
+///
+/// Invalidation is lazy: updates only bump version counters, and a stale
+/// entry is dropped when a lookup trips over it. The cache never returns a
+/// stale answer; `invalidations` counts the drops.
+///
+/// Thread-safe; all operations take one internal mutex (the service calls
+/// them while already holding its database lock in shared mode, so the
+/// critical sections must be short — they are: a hash lookup plus a
+/// relation copy).
+class ResultCache {
+ public:
+  static constexpr size_t kDefaultMaxEntries = 4096;
+
+  explicit ResultCache(size_t max_entries = kDefaultMaxEntries)
+      : max_entries_(max_entries) {}
+
+  /// The cached answer for `key` if present and still valid against the
+  /// epochs; drops the entry (and counts an invalidation) when stale.
+  std::optional<Relation> Lookup(const std::string& key,
+                                 uint64_t global_change,
+                                 const std::vector<uint64_t>& pred_change);
+
+  /// Records an answer computed at `version` reading `reads`. First writer
+  /// wins; the cache saturates at `max_entries` (an insert into a full
+  /// cache is dropped — a degenerate workload cannot balloon memory).
+  void Insert(const std::string& key, const Relation& answer,
+              uint64_t version, std::vector<PredId> reads);
+
+  ResultCacheStats stats() const;
+
+ private:
+  struct Entry {
+    Relation answer;
+    uint64_t version;
+    std::vector<PredId> reads;
+  };
+
+  bool IsValid(const Entry& entry, uint64_t global_change,
+               const std::vector<uint64_t>& pred_change) const;
+
+  size_t max_entries_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> entries_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t invalidations_ = 0;
+};
+
+}  // namespace lqdb
+
+#endif  // LQDB_SERVICE_RESULT_CACHE_H_

@@ -1,5 +1,6 @@
 #include "lqdb/service/service.h"
 
+#include <string_view>
 #include <utility>
 
 #include "lqdb/logic/parser.h"
@@ -11,18 +12,43 @@ namespace {
 
 /// Join-ordering statistics for the prepare-time RA compile; mirrors the
 /// ra-exact engine's view (image cardinalities are bounded by the logical
-/// database's fact counts and `|C|`).
-RaCardinalities StatsFor(const CwDatabase& lb) {
+/// database's fact counts and `|C|`). The session's join-order cap shapes
+/// the compiled plan, so it must flow into the prepare-time compile just
+/// as it does into the ra-exact engine's own plan cache.
+RaCardinalities StatsFor(const CwDatabase& lb, const EngineOptions& options) {
   RaCardinalities stats;
   stats.domain_size = static_cast<double>(lb.num_constants());
   stats.relation_sizes.assign(lb.vocab().num_predicates(), 0.0);
   for (PredId p : lb.PredicatesWithFacts()) {
     stats.relation_sizes[p] = static_cast<double>(lb.facts(p).size());
   }
+  stats.dp_join_cap = options.exact.ra_dp_join_cap;
   return stats;
 }
 
 }  // namespace
+
+std::string EngineOptionsFingerprint(const EngineOptions& options) {
+  // Everything here either changes an answer outright (the approximation
+  // knobs select different sound approximations in principle) or flips an
+  // execution between an answer and `ResourceExhausted` (the budgets), or
+  // shapes the compiled plan cached inside the prepared statement (the
+  // join-order cap). Deliberately absent: `threads` (answers are
+  // bit-identical across thread counts — a candidate's membership is a
+  // property of the mapping space, not the traversal) and the kernel-memo
+  // toggle (memo-on ≡ memo-off is pinned by the differential suite).
+  std::string key;
+  key += "emm=" + std::to_string(options.exact.max_mappings);
+  key += ";cap=" + std::to_string(options.exact.ra_dp_join_cap);
+  key += ";eso=" + std::to_string(options.exact.eval.max_so_tuple_space);
+  key += ";bmm=" + std::to_string(options.brute.max_mappings);
+  key += ";bso=" + std::to_string(options.brute.eval.max_so_tuple_space);
+  key += ";aam=" + std::to_string(static_cast<int>(options.approx.alpha_mode));
+  key += ";aen=" + std::to_string(static_cast<int>(options.approx.engine));
+  key += ";ane=" + std::to_string(options.approx.materialize_ne ? 1 : 0);
+  key += ";aso=" + std::to_string(options.approx.eval.max_so_tuple_space);
+  return key;
+}
 
 Service::Service(CwDatabase* db, ServiceOptions options)
     : db_(db),
@@ -50,15 +76,79 @@ ServiceStats Service::stats() const {
   out.cancelled = cancelled_.load();
   out.cached_queries = cache_.size();
   out.sessions_opened = sessions_opened_.load();
+  out.asserts = asserts_.load();
+  out.retracts = retracts_.load();
+  out.memo_row_hits = memo_row_hits_.load();
+  out.memo_row_misses = memo_row_misses_.load();
+  out.memo_images_skipped = memo_images_skipped_.load();
+  const ResultCacheStats rc = results_.stats();
+  out.result_hits = rc.hits;
+  out.result_misses = rc.misses;
+  out.result_invalidations = rc.invalidations;
+  out.cached_results = rc.entries;
+  {
+    std::shared_lock<std::shared_mutex> db_lock(db_mu_);
+    out.db_version = db_version_;
+  }
   return out;
 }
 
+uint64_t Service::db_version() const {
+  std::shared_lock<std::shared_mutex> db_lock(db_mu_);
+  return db_version_;
+}
+
+void Service::BumpVersionLocked(PredId pred, bool constants_grew) {
+  ++db_version_;
+  if (pred >= pred_change_.size()) pred_change_.resize(pred + 1, 0);
+  pred_change_[pred] = db_version_;
+  if (constants_grew) global_change_ = db_version_;
+}
+
+Status Service::Assert(const std::string& pred,
+                       const std::vector<std::string>& names) {
+  std::unique_lock<std::shared_mutex> db_lock(db_mu_);
+  const size_t constants_before = db_->num_constants();
+  std::vector<std::string_view> views(names.begin(), names.end());
+  LQDB_RETURN_IF_ERROR(db_->AddFact(pred, views));
+  const PredId p = db_->vocab().FindPredicate(pred);
+  BumpVersionLocked(p, db_->num_constants() != constants_before);
+  asserts_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status Service::Retract(const std::string& pred,
+                        const std::vector<std::string>& names) {
+  std::unique_lock<std::shared_mutex> db_lock(db_mu_);
+  const PredId p = db_->vocab().FindPredicate(pred);
+  if (p == Vocabulary::kNotFound) {
+    return Status::NotFound("unknown predicate '" + pred + "'");
+  }
+  Tuple tuple;
+  tuple.reserve(names.size());
+  for (const std::string& name : names) {
+    const ConstId c = db_->vocab().FindConstant(name);
+    if (c == Vocabulary::kNotFound) {
+      return Status::NotFound("unknown constant '" + name + "'");
+    }
+    tuple.push_back(c);
+  }
+  LQDB_RETURN_IF_ERROR(db_->RemoveFact(p, tuple));
+  // Retraction never shrinks `C` (constants are permanent — domain closure
+  // still ranges over every interned name), so only `pred`'s epoch moves.
+  BumpVersionLocked(p, /*constants_grew=*/false);
+  retracts_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
 Result<std::shared_ptr<PreparedQuery>> Service::PrepareInternal(
-    const std::string& engine, const std::string& text, PreparedInfo* info) {
+    const std::string& engine, const EngineOptions& engine_options,
+    const std::string& text, PreparedInfo* info) {
   prepares_.fetch_add(1, std::memory_order_relaxed);
+  const std::string options_key = EngineOptionsFingerprint(engine_options);
   PreparedHandle handle = 0;
-  if (std::shared_ptr<PreparedQuery> hit = cache_.Find(engine, text,
-                                                       &handle)) {
+  if (std::shared_ptr<PreparedQuery> hit =
+          cache_.Find(engine, options_key, text, &handle)) {
     cache_hits_.fetch_add(1, std::memory_order_relaxed);
     info->handle = handle;
     info->cache_hit = true;
@@ -71,14 +161,23 @@ Result<std::shared_ptr<PreparedQuery>> Service::PrepareInternal(
     // Exclusive: parsing interns constants/predicates into the shared
     // vocabulary, and the compiler reads the fact counts.
     std::unique_lock<std::shared_mutex> db_lock(db_mu_);
+    const size_t constants_before = db_->num_constants();
     LQDB_ASSIGN_OR_RETURN(Query query,
                           ParseQuery(db_->mutable_vocab(), text));
+    if (db_->num_constants() != constants_before) {
+      // Parsing interned a constant the database had never seen: `C` grew,
+      // and every Theorem 1 answer quantifies over all of `C`, so every
+      // cached result is potentially stale.
+      ++db_version_;
+      global_change_ = db_version_;
+    }
     LQDB_ASSIGN_OR_RETURN(
-        entry, PreparedQuery::Make(text, engine, std::move(query)));
+        entry,
+        PreparedQuery::Make(text, engine, options_key, std::move(query)));
     // Compile once at prepare time regardless of engine: ra-exact executes
     // the plan, and the other engines ignore it. A failed compile (second
     // order) is cached inside the binding as "use the fallback".
-    const RaCardinalities stats = StatsFor(*db_);
+    const RaCardinalities stats = StatsFor(*db_, engine_options);
     Status compile = entry->mutable_bound()->CompileRaPlan(db_->vocab(),
                                                            &stats);
     (void)compile;
@@ -93,8 +192,11 @@ Result<std::shared_ptr<PreparedQuery>> Service::PrepareInternal(
 
 Result<PreparedInfo> Session::Prepare(const std::string& text) {
   PreparedInfo info;
-  LQDB_RETURN_IF_ERROR(
-      service_->PrepareInternal(options_.engine, text, &info).status());
+  LQDB_RETURN_IF_ERROR(service_
+                           ->PrepareInternal(options_.engine,
+                                             options_.engine_options, text,
+                                             &info)
+                           .status());
   prepares_.fetch_add(1, std::memory_order_relaxed);
   if (info.cache_hit) cache_hits_.fetch_add(1, std::memory_order_relaxed);
   return info;
@@ -140,19 +242,62 @@ Result<Relation> Session::Run(const PreparedQuery& pq, bool possible) {
   if (caps_.mutates_database) {
     // A mutating engine (approx) writes the vocabulary at construction and
     // snapshots Ph₂, so it runs exclusively and is rebuilt per execution —
-    // never answering from a snapshot that predates a later prepare.
+    // never answering from a snapshot that predates a later prepare. Its
+    // answers are never result-cached: the construction itself moves the
+    // database (NE/α predicates), so "same database version" does not mean
+    // "same inputs" across engine rebuilds.
     std::unique_lock<std::shared_mutex> db_lock(service_->db_mu_);
     std::lock_guard<std::mutex> exec_lock(exec_mu_);
+    const size_t constants_before = service_->db_->num_constants();
     LQDB_ASSIGN_OR_RETURN(std::unique_ptr<QueryEngine> engine,
                           EngineRegistry::Global().Create(
                               options_.engine, service_->db_,
                               options_.engine_options));
-    return RunLocked(engine.get(), pq, possible);
+    Result<Relation> out = RunLocked(engine.get(), pq, possible);
+    if (service_->db_->num_constants() != constants_before) {
+      // Engine construction interned new constants; raise the global epoch
+      // while still holding the exclusive lock.
+      ++service_->db_version_;
+      service_->global_change_ = service_->db_version_;
+    }
+    return out;
   }
   LQDB_RETURN_IF_ERROR(EnsureEngine());
   std::shared_lock<std::shared_mutex> db_lock(service_->db_mu_);
   std::lock_guard<std::mutex> exec_lock(exec_mu_);
-  return RunLocked(engine_.get(), pq, possible);
+  const bool cacheable = options_.use_result_cache;
+  std::string key;
+  if (cacheable) {
+    // Keyed like the prepared-statement cache plus the answer mode; valid
+    // only while nothing the query reads has changed (checked against the
+    // change epochs, which the shared lock holds still).
+    key = options_.engine + '\n' + options_key_ + '\n' +
+          (possible ? "P\n" : "C\n") + pq.text();
+    std::optional<Relation> hit = service_->results_.Lookup(
+        key, service_->global_change_, service_->pred_change_);
+    if (hit.has_value()) {
+      arena_.Reset();
+      last_trace_ = ExecutionTrace{};
+      last_trace_.query =
+          arena_.CopyString(pq.text().c_str(), pq.text().size());
+      last_trace_.engine = arena_.CopyString(options_.engine.c_str(),
+                                             options_.engine.size());
+      last_trace_.possible = possible;
+      last_trace_.ok = true;
+      last_trace_.cached = true;
+      executions_.fetch_add(1, std::memory_order_relaxed);
+      service_->executions_.fetch_add(1, std::memory_order_relaxed);
+      return std::move(*hit);
+    }
+  }
+  Result<Relation> out = RunLocked(engine_.get(), pq, possible);
+  if (cacheable && out.ok()) {
+    // Still under the shared lock, so the epochs cannot have moved since
+    // the engine read the database: the entry's version is exact.
+    service_->results_.Insert(key, *out, service_->db_version_,
+                              pq.bound().predicates());
+  }
+  return out;
 }
 
 Result<Relation> Session::RunLocked(QueryEngine* engine,
@@ -172,6 +317,13 @@ Result<Relation> Session::RunLocked(QueryEngine* engine,
                                   : engine->AnswerBound(pq.bound());
 
   last_trace_.mappings_examined = engine->last_mappings_examined();
+  last_trace_.memo = engine->last_memo_counters();
+  service_->memo_row_hits_.fetch_add(last_trace_.memo.row_hits,
+                                     std::memory_order_relaxed);
+  service_->memo_row_misses_.fetch_add(last_trace_.memo.row_misses,
+                                       std::memory_order_relaxed);
+  service_->memo_images_skipped_.fetch_add(last_trace_.memo.images_skipped,
+                                           std::memory_order_relaxed);
   last_trace_.ok = out.ok();
   executions_.fetch_add(1, std::memory_order_relaxed);
   service_->executions_.fetch_add(1, std::memory_order_relaxed);

@@ -8,11 +8,13 @@
 #include <mutex>
 #include <shared_mutex>
 #include <string>
+#include <vector>
 
 #include "lqdb/cwdb/cw_database.h"
 #include "lqdb/engine/engine.h"
 #include "lqdb/relational/relation.h"
 #include "lqdb/service/prepared_cache.h"
+#include "lqdb/service/result_cache.h"
 #include "lqdb/util/arena.h"
 #include "lqdb/util/result.h"
 #include "lqdb/util/thread_pool.h"
@@ -30,7 +32,8 @@ struct ServiceOptions {
   size_t cache_shards = 8;
 };
 
-/// Service-wide counters, all monotone since construction.
+/// Service-wide counters, all monotone since construction (except
+/// `cached_results`/`cached_queries`, which are current sizes).
 struct ServiceStats {
   uint64_t prepares = 0;
   uint64_t cache_hits = 0;
@@ -40,6 +43,21 @@ struct ServiceStats {
   uint64_t cancelled = 0;
   size_t cached_queries = 0;
   size_t sessions_opened = 0;
+  /// Single-fact updates applied (`Service::Assert` / `Service::Retract`).
+  uint64_t asserts = 0;
+  uint64_t retracts = 0;
+  /// Database version: bumped by every applied update.
+  uint64_t db_version = 0;
+  /// Result-cache traffic (see `ResultCache`).
+  uint64_t result_hits = 0;
+  uint64_t result_misses = 0;
+  uint64_t result_invalidations = 0;
+  size_t cached_results = 0;
+  /// Kernel-memo traffic aggregated over every execution the service ran
+  /// (see `KernelMemoCounters`).
+  uint64_t memo_row_hits = 0;
+  uint64_t memo_row_misses = 0;
+  uint64_t memo_images_skipped = 0;
 };
 
 struct SessionOptions {
@@ -50,7 +68,19 @@ struct SessionOptions {
   /// Cap on queued-or-running `ExecuteAsync` calls per session; one more
   /// fails with `ResourceExhausted` until a slot frees up.
   int max_in_flight = 4;
+  /// Serve (and feed) the service's cross-execution result cache. Answers
+  /// are identical either way — the cache never returns a stale result —
+  /// so the toggle exists for A/B runs (`set memo off` in the shell
+  /// disables both reuse levels).
+  bool use_result_cache = true;
 };
+
+/// Fingerprint of every `EngineOptions` field that can change an answer
+/// (or the answer-vs-error outcome) — the options part of the prepared-
+/// statement and result-cache keys. Fields that provably cannot change
+/// answers (thread count, the kernel memo toggle) are deliberately
+/// excluded so sessions differing only in them share cache entries.
+std::string EngineOptionsFingerprint(const EngineOptions& options);
 
 /// Outcome of preparing a query on a session.
 struct PreparedInfo {
@@ -68,6 +98,11 @@ struct ExecutionTrace {
   uint64_t mappings_examined = 0;
   bool possible = false;
   bool ok = false;
+  /// Served from the result cache (no engine ran; `mappings_examined` and
+  /// `memo` are zero).
+  bool cached = false;
+  /// The engine's kernel-memo counters for this execution.
+  KernelMemoCounters memo;
 };
 
 /// A ticket for one in-flight `ExecuteAsync`. `Cancel` is best-effort: it
@@ -136,7 +171,10 @@ class Session : public std::enable_shared_from_this<Session> {
   friend class Service;
 
   Session(Service* service, SessionOptions options, EngineCapabilities caps)
-      : service_(service), options_(std::move(options)), caps_(caps) {}
+      : service_(service),
+        options_(std::move(options)),
+        options_key_(EngineOptionsFingerprint(options_.engine_options)),
+        caps_(caps) {}
 
   /// Builds the engine on first use. Two-phase so the fast path is one
   /// acquire load: creation happens under the database lock (factories may
@@ -152,6 +190,9 @@ class Session : public std::enable_shared_from_this<Session> {
 
   Service* service_;
   SessionOptions options_;
+  /// `EngineOptionsFingerprint` of this session's engine options, computed
+  /// once — part of every prepared-statement and result-cache key.
+  std::string options_key_;
   EngineCapabilities caps_;
 
   /// Serializes executions within this session; always acquired after the
@@ -201,8 +242,23 @@ class Service {
   /// name. Engine construction itself is deferred to the first execution.
   Result<std::shared_ptr<Session>> OpenSession(SessionOptions options = {});
 
+  /// Applies a single-fact update behind the writer lock, interning new
+  /// constant names as *known* constants (`Assert`) or removing a stored
+  /// fact (`Retract`; `NotFound` when the predicate or fact is unknown).
+  /// Either bumps the database version and the updated relation's change
+  /// epoch, so dependent cached results go stale — and, when an `Assert`
+  /// grows the constant set, the global epoch, since the Theorem 1 answer
+  /// of *every* query quantifies over all of `C`.
+  Status Assert(const std::string& pred,
+                const std::vector<std::string>& names);
+  Status Retract(const std::string& pred,
+                 const std::vector<std::string>& names);
+
   const CwDatabase& db() const { return *db_; }
   int threads() const { return pool_.num_threads(); }
+
+  /// The current database version (updates applied since construction).
+  uint64_t db_version() const;
 
   ServiceStats stats() const;
 
@@ -211,17 +267,37 @@ class Service {
 
   /// The shared prepare path (see `Session::Prepare`).
   Result<std::shared_ptr<PreparedQuery>> PrepareInternal(
-      const std::string& engine, const std::string& text, PreparedInfo* info);
+      const std::string& engine, const EngineOptions& engine_options,
+      const std::string& text, PreparedInfo* info);
+
+  /// Bumps the change epochs after a write to `pred` under the exclusive
+  /// database lock; `constants_grew` additionally raises the global epoch.
+  void BumpVersionLocked(PredId pred, bool constants_grew);
 
   CwDatabase* db_;
   ServiceOptions options_;
 
-  /// Guards the database: shared for executions, exclusive for parsing and
-  /// for mutating engines. Acquired before any session's `exec_mu_`.
+  /// Guards the database: shared for executions, exclusive for parsing,
+  /// updates and mutating engines. Acquired before any session's
+  /// `exec_mu_`.
   mutable std::shared_mutex db_mu_;
 
   PreparedCache cache_;
+  ResultCache results_;
 
+  /// Change epochs, guarded by `db_mu_` (written under exclusive, read
+  /// under shared): `db_version_` counts applied updates;
+  /// `global_change_`/`pred_change_[p]` record the version *after* the
+  /// last change affecting every query / queries reading `p`.
+  uint64_t db_version_ = 0;
+  uint64_t global_change_ = 0;
+  std::vector<uint64_t> pred_change_;
+
+  std::atomic<uint64_t> asserts_{0};
+  std::atomic<uint64_t> retracts_{0};
+  std::atomic<uint64_t> memo_row_hits_{0};
+  std::atomic<uint64_t> memo_row_misses_{0};
+  std::atomic<uint64_t> memo_images_skipped_{0};
   std::atomic<uint64_t> prepares_{0};
   std::atomic<uint64_t> cache_hits_{0};
   std::atomic<uint64_t> cache_misses_{0};

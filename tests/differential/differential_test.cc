@@ -541,6 +541,156 @@ TEST(DifferentialTest, ConcurrentSessionsMatchSequentialReplay) {
   }
 }
 
+/// The memoization dimension: every engine with the kernel memo enabled
+/// (the default) must produce answers bit-identical to the memo-off
+/// configuration on every instance the suite generates — the same 268
+/// (profile, seed) pairs the other dimensions sweep. An unsound signature
+/// (one that identifies non-isomorphic images) would surface here as a
+/// wrong reused verdict; see kernel_memo.h for the counterexample that
+/// killed the naive block-size signature. The sweep also asserts the memo
+/// actually engaged (hits accumulated somewhere), so the comparison can
+/// never silently degenerate into memo-off vs memo-off.
+TEST(DifferentialTest, MemoizedAgreesOnAllInstances) {
+  struct Sweep {
+    InstanceProfile profile;
+    uint64_t seeds;
+  };
+  const Sweep sweeps[] = {
+      {InstanceProfile::kTiny, 40},   {InstanceProfile::kSmall, 40},
+      {InstanceProfile::kBinary, 40}, {InstanceProfile::kSmall, 30},
+      {InstanceProfile::kBinary, 30}, {InstanceProfile::kFullySpecified, 40},
+      {InstanceProfile::kPositive, 40}, {InstanceProfile::kTiny, 8},
+  };
+  uint64_t instances = 0;
+  uint64_t total_hits = 0;
+  for (const Sweep& sweep : sweeps) {
+    for (uint64_t seed = 0; seed < sweep.seeds; ++seed) {
+      ++instances;
+      DifferentialInstance instance = MakeInstance(seed, sweep.profile);
+      SCOPED_TRACE(Describe(instance));
+
+      ExactOptions off;
+      off.memo = false;
+      ExactEvaluator baseline(instance.db.get(), off);
+      ASSERT_OK_AND_ASSIGN(Relation baseline_answer,
+                           baseline.Answer(instance.query));
+      ASSERT_OK_AND_ASSIGN(Relation baseline_possible,
+                           baseline.PossibleAnswer(instance.query));
+      EXPECT_EQ(baseline.last_memo_counters().row_hits, 0u);
+
+      ExactEvaluator memo_exact(instance.db.get());  // memo on by default
+      ASSERT_OK_AND_ASSIGN(Relation exact_answer,
+                           memo_exact.Answer(instance.query));
+      EXPECT_EQ(exact_answer, baseline_answer)
+          << AnswerDiff(*instance.db, "memo", exact_answer, "no-memo",
+                        baseline_answer);
+      total_hits += memo_exact.last_memo_counters().row_hits;
+      ASSERT_OK_AND_ASSIGN(Relation exact_possible,
+                           memo_exact.PossibleAnswer(instance.query));
+      EXPECT_EQ(exact_possible, baseline_possible)
+          << AnswerDiff(*instance.db, "memo", exact_possible, "no-memo",
+                        baseline_possible);
+      total_hits += memo_exact.last_memo_counters().row_hits;
+
+      // Brute enumerates every mapping (not just canonical representatives),
+      // so its sweep is exponentially redundant — the memo's best case and
+      // the harshest consistency check, since most verdicts are reused.
+      BruteOptions brute_off;
+      brute_off.memo = false;
+      BruteForceEvaluator brute_baseline(instance.db.get(), brute_off);
+      ASSERT_OK_AND_ASSIGN(Relation brute_answer,
+                           brute_baseline.Answer(instance.query));
+      BruteForceEvaluator brute_memo(instance.db.get());
+      ASSERT_OK_AND_ASSIGN(Relation brute_memo_answer,
+                           brute_memo.Answer(instance.query));
+      EXPECT_EQ(brute_memo_answer, brute_answer)
+          << AnswerDiff(*instance.db, "memo", brute_memo_answer, "no-memo",
+                        brute_answer);
+      total_hits += brute_memo.last_memo_counters().row_hits;
+
+      // The shared-table concurrent path and the compiled-plan path, both
+      // memo-on, against the memo-off sequential baseline.
+      EngineOptions popts;
+      popts.threads = 4;
+      ASSERT_OK_AND_ASSIGN(std::unique_ptr<QueryEngine> parallel,
+                           EngineRegistry::Global().Create(
+                               "parallel-exact", instance.db.get(), popts));
+      ASSERT_OK_AND_ASSIGN(Relation parallel_answer,
+                           parallel->Answer(instance.query));
+      EXPECT_EQ(parallel_answer, baseline_answer)
+          << AnswerDiff(*instance.db, "parallel-memo", parallel_answer,
+                        "no-memo", baseline_answer);
+
+      ASSERT_OK_AND_ASSIGN(std::unique_ptr<QueryEngine> ra,
+                           EngineRegistry::Global().Create(
+                               "ra-exact", instance.db.get()));
+      ASSERT_OK_AND_ASSIGN(Relation ra_answer, ra->Answer(instance.query));
+      EXPECT_EQ(ra_answer, baseline_answer)
+          << AnswerDiff(*instance.db, "ra-memo", ra_answer, "no-memo",
+                        baseline_answer);
+      total_hits += ra->last_memo_counters().row_hits;
+    }
+  }
+  EXPECT_EQ(instances, 268u);
+  EXPECT_GT(total_hits, 0u);
+}
+
+/// Memo agreement on the adversarial profiles: kSkewed hangs the mapping
+/// mass under one kernel-class subtree (many signature-equivalent
+/// mappings — maximal reuse), kLarge runs the generated scenario worlds
+/// where an unsound interchangeability class would have room to hide.
+/// Brute is excluded: its full mapping space is intractable here.
+TEST(DifferentialTest, MemoizedAgreesOnAdversarialProfiles) {
+  struct Sweep {
+    InstanceProfile profile;
+    uint64_t seeds;
+  };
+  const Sweep sweeps[] = {
+      {InstanceProfile::kSkewed, 20},
+      {InstanceProfile::kLarge, 6},
+  };
+  for (const Sweep& sweep : sweeps) {
+    for (uint64_t seed = 0; seed < sweep.seeds; ++seed) {
+      DifferentialInstance instance = MakeInstance(seed, sweep.profile);
+      SCOPED_TRACE(Describe(instance));
+
+      ExactOptions off;
+      off.memo = false;
+      ExactEvaluator baseline(instance.db.get(), off);
+      ASSERT_OK_AND_ASSIGN(Relation baseline_answer,
+                           baseline.Answer(instance.query));
+
+      ExactEvaluator memo_exact(instance.db.get());
+      ASSERT_OK_AND_ASSIGN(Relation exact_answer,
+                           memo_exact.Answer(instance.query));
+      EXPECT_EQ(exact_answer, baseline_answer)
+          << AnswerDiff(*instance.db, "memo", exact_answer, "no-memo",
+                        baseline_answer);
+
+      ASSERT_OK_AND_ASSIGN(std::unique_ptr<QueryEngine> ra,
+                           EngineRegistry::Global().Create(
+                               "ra-exact", instance.db.get()));
+      ASSERT_OK_AND_ASSIGN(Relation ra_answer, ra->Answer(instance.query));
+      EXPECT_EQ(ra_answer, baseline_answer)
+          << AnswerDiff(*instance.db, "ra-memo", ra_answer, "no-memo",
+                        baseline_answer);
+
+      if (sweep.profile == InstanceProfile::kSkewed) {
+        EngineOptions popts;
+        popts.threads = 8;
+        ASSERT_OK_AND_ASSIGN(std::unique_ptr<QueryEngine> parallel,
+                             EngineRegistry::Global().Create(
+                                 "parallel-exact", instance.db.get(), popts));
+        ASSERT_OK_AND_ASSIGN(Relation parallel_answer,
+                             parallel->Answer(instance.query));
+        EXPECT_EQ(parallel_answer, baseline_answer)
+            << AnswerDiff(*instance.db, "parallel-memo", parallel_answer,
+                          "no-memo", baseline_answer);
+      }
+    }
+  }
+}
+
 /// First-principles cross-check on tiny instances: membership according to
 /// `ExactEvaluator` must match `ModelEnumerationContains`, which decides
 /// `T ⊨_f φ(c)` straight from the §2.1 definition by enumerating every

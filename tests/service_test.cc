@@ -315,5 +315,167 @@ TEST(ServiceTest, ConcurrentSessionsMatchSequentialAnswers) {
             engines.size() * texts.size() * (kRounds + 1u));
 }
 
+/// Two relations so invalidation exactness is observable: a query reading
+/// only P must survive updates to Q and vice versa.
+std::unique_ptr<CwDatabase> TwoRelationDb() {
+  auto lb = std::make_unique<CwDatabase>();
+  lb->AddKnownConstant("a");
+  lb->AddKnownConstant("b");
+  Status s = lb->AddFact("P", {"a"});
+  s = lb->AddFact("Q", {"b"});
+  (void)s;
+  return lb;
+}
+
+TEST(ResultCacheTest, RepeatedQueryIsServedFromTheCache) {
+  auto lb = TwoRelationDb();
+  Service service(lb.get());
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<Session> session,
+                       service.OpenSession());
+
+  ASSERT_OK_AND_ASSIGN(Relation first, session->Query("(x) . P(x)"));
+  EXPECT_FALSE(session->last_trace().cached);
+  ASSERT_OK_AND_ASSIGN(Relation second, session->Query("(x) . P(x)"));
+  EXPECT_TRUE(session->last_trace().cached);
+  EXPECT_EQ(first, second);
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.result_hits, 1u);
+  EXPECT_EQ(stats.cached_results, 1u);
+  EXPECT_EQ(stats.db_version, 0u);
+}
+
+// The stale-read regression: an update must invalidate exactly the cached
+// results that read the updated relation — the P-reader recomputes (and
+// sees the new fact), the Q-reader keeps hitting.
+TEST(ResultCacheTest, AssertInvalidatesExactlyTheDependentResults) {
+  auto lb = TwoRelationDb();
+  Service service(lb.get());
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<Session> session,
+                       service.OpenSession());
+
+  ASSERT_OK_AND_ASSIGN(Relation p_before, session->Query("(x) . P(x)"));
+  EXPECT_EQ(p_before.size(), 1u);
+  ASSERT_OK_AND_ASSIGN(Relation q_before, session->Query("(x) . Q(x)"));
+
+  ASSERT_OK(service.Assert("P", {"b"}));
+  EXPECT_EQ(service.db_version(), 1u);
+
+  // The Q-reader's entry is untouched: still a hit.
+  ASSERT_OK_AND_ASSIGN(Relation q_after, session->Query("(x) . Q(x)"));
+  EXPECT_TRUE(session->last_trace().cached);
+  EXPECT_EQ(q_after, q_before);
+
+  // The P-reader recomputes and must see the asserted fact — a served
+  // stale answer would be missing (b).
+  ASSERT_OK_AND_ASSIGN(Relation p_after, session->Query("(x) . P(x)"));
+  EXPECT_FALSE(session->last_trace().cached);
+  EXPECT_EQ(p_after.size(), 2u);
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.asserts, 1u);
+  EXPECT_EQ(stats.result_invalidations, 1u);
+}
+
+TEST(ResultCacheTest, RetractInvalidatesAndRestoresTheOriginalAnswer) {
+  auto lb = TwoRelationDb();
+  Service service(lb.get());
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<Session> session,
+                       service.OpenSession());
+
+  ASSERT_OK_AND_ASSIGN(Relation original, session->Query("(x) . P(x)"));
+  ASSERT_OK(service.Assert("P", {"b"}));
+  ASSERT_OK_AND_ASSIGN(Relation grown, session->Query("(x) . P(x)"));
+  EXPECT_EQ(grown.size(), original.size() + 1);
+
+  ASSERT_OK(service.Retract("P", {"b"}));
+  ASSERT_OK_AND_ASSIGN(Relation restored, session->Query("(x) . P(x)"));
+  EXPECT_FALSE(session->last_trace().cached);  // version moved again
+  EXPECT_EQ(restored, original);
+
+  // Retracting a fact that is not stored (or unknown names) is NotFound.
+  EXPECT_EQ(service.Retract("P", {"b"}).code(), StatusCode::kNotFound);
+  EXPECT_EQ(service.Retract("Nope", {"a"}).code(), StatusCode::kNotFound);
+  EXPECT_EQ(service.Retract("P", {"ghost"}).code(), StatusCode::kNotFound);
+}
+
+// Asserting a fact over a brand-new constant grows C, and every Theorem 1
+// answer quantifies over all of C — so even queries that read *other*
+// relations must drop out of the cache (the global epoch).
+TEST(ResultCacheTest, NewConstantInvalidatesEveryCachedResult) {
+  auto lb = TwoRelationDb();
+  Service service(lb.get());
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<Session> session,
+                       service.OpenSession());
+
+  ASSERT_OK_AND_ASSIGN(Relation q_before, session->Query("(x) . Q(x)"));
+  ASSERT_OK(service.Assert("P", {"fresh"}));  // interns constant "fresh"
+
+  ASSERT_OK_AND_ASSIGN(Relation q_after, session->Query("(x) . Q(x)"));
+  EXPECT_FALSE(session->last_trace().cached);
+  EXPECT_EQ(q_after, q_before);  // recomputed, same answer — but recomputed
+}
+
+TEST(ResultCacheTest, DisabledSessionNeverTouchesTheCache) {
+  auto lb = TwoRelationDb();
+  Service service(lb.get());
+  SessionOptions options;
+  options.use_result_cache = false;
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<Session> session,
+                       service.OpenSession(options));
+
+  ASSERT_OK_AND_ASSIGN(Relation first, session->Query("(x) . P(x)"));
+  ASSERT_OK_AND_ASSIGN(Relation second, session->Query("(x) . P(x)"));
+  EXPECT_EQ(first, second);
+  EXPECT_FALSE(session->last_trace().cached);
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.result_hits, 0u);
+  EXPECT_EQ(stats.cached_results, 0u);
+}
+
+// The options-fingerprint regression: a session with a tiny enumeration
+// budget must get its own ResourceExhausted, never another session's
+// cached (or prepared) answer computed under a larger budget — and the
+// other direction must not let the exhausted run poison the cache either.
+TEST(ResultCacheTest, BudgetOptionsAreCacheKeyed) {
+  auto lb = SlowDb();
+  Service service(lb.get());
+
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<Session> big, service.OpenSession());
+  SessionOptions tiny_options;
+  tiny_options.engine_options.exact.max_mappings = 3;
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<Session> tiny,
+                       service.OpenSession(tiny_options));
+
+  const std::string text = "(x) . P0(x)";
+  ASSERT_OK_AND_ASSIGN(Relation answer, big->Query(text));
+  (void)answer;
+
+  auto exhausted = tiny->Query(text);
+  EXPECT_FALSE(exhausted.ok());
+  EXPECT_EQ(exhausted.status().code(), StatusCode::kResourceExhausted);
+
+  // And the big session still hits its own entry.
+  ASSERT_OK_AND_ASSIGN(Relation again, big->Query(text));
+  EXPECT_TRUE(big->last_trace().cached);
+  EXPECT_EQ(again, answer);
+}
+
+// Kernel-memo counters flow from the engines through the trace into the
+// service-wide stats.
+TEST(ServiceTest, MemoCountersSurfaceInStats) {
+  auto lb = SlowDb();
+  Service service(lb.get());
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<Session> session,
+                       service.OpenSession());
+  ASSERT_OK_AND_ASSIGN(Relation answer, session->Query("(x) . P0(x)"));
+  (void)answer;
+  const KernelMemoCounters& memo = session->last_trace().memo;
+  EXPECT_GT(memo.row_hits + memo.row_misses, 0u);
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.memo_row_hits, memo.row_hits);
+  EXPECT_EQ(stats.memo_row_misses, memo.row_misses);
+}
+
 }  // namespace
 }  // namespace lqdb

@@ -47,6 +47,11 @@ def main() -> int:
     parser.add_argument("--diff", default=None, metavar="BASELINE",
                         help="earlier BENCH_<pr>.json to diff against; "
                              "prints a per-benchmark speedup table")
+    parser.add_argument("--require-e11-hits", action="store_true",
+                        help="fail unless the bench_e11 reuse rows report "
+                             "nonzero cache hit rates (CI guard: a refactor "
+                             "must not silently wedge the kernel memo or "
+                             "result cache shut)")
     args = parser.parse_args()
 
     if args.out is None and args.pr is None:
@@ -92,8 +97,11 @@ def main() -> int:
           f"{total} benchmark entries")
 
     print_ra_vs_exact(merged)
+    print_e11_reuse(merged)
     if args.diff is not None:
         print_diff(pathlib.Path(args.diff), merged)
+    if args.require_e11_hits and not e11_hits_ok(merged):
+        return 1
     return 0
 
 
@@ -139,6 +147,72 @@ def print_ra_vs_exact(merged: dict) -> None:
     for row in rows:
         print("  " + "  ".join(cell.ljust(width)
                                for cell, width in zip(row, widths)).rstrip())
+
+
+def e11_rows(merged: dict):
+    """(reuse_entry, baseline_entry) pairs from the bench_e11 suite, matched
+    by substring replacement "/reuse" -> "/baseline" (the bench emits
+    pairable names per stream for exactly this)."""
+    pairs = []
+    for suite, entries in merged.get("suites", {}).items():
+        if "bench_e11" not in suite:
+            continue
+        by_name = {e.get("name"): e for e in entries}
+        for name, entry in sorted(by_name.items()):
+            if name is None or "/reuse" not in name:
+                continue
+            partner = by_name.get(name.replace("/reuse", "/baseline"))
+            if partner is not None:
+                pairs.append((entry, partner))
+    return pairs
+
+
+def print_e11_reuse(merged: dict) -> None:
+    """Prints the incremental-stream speedups: reuse (kernel memo + result
+    cache) vs baseline per stream, with the reuse rows' hit-rate counters."""
+    pairs = e11_rows(merged)
+    if not pairs:
+        return
+    rows = [("benchmark", "baseline", "reuse", "speedup",
+             "result_hit_rate", "memo_hit_rate")]
+    for reuse, base in pairs:
+        r_t, b_t = reuse.get("real_time"), base.get("real_time")
+        unit = reuse.get("time_unit", "ns")
+        ok = (r_t is not None and b_t is not None and r_t > 0
+              and unit == base.get("time_unit", "ns"))
+        rows.append((reuse["name"],
+                     f"{b_t:.3f} {unit}" if b_t is not None else "n/a",
+                     f"{r_t:.3f} {unit}" if r_t is not None else "n/a",
+                     f"{b_t / r_t:.2f}x" if ok else "n/a",
+                     f"{reuse.get('result_hit_rate', 0.0):.2f}",
+                     f"{reuse.get('memo_hit_rate', 0.0):.2f}"))
+    widths = [max(len(row[col]) for row in rows) for col in range(6)]
+    print("\nincremental re-evaluation (bench_e11): baseline/reuse "
+          "real_time; >1 means reuse wins:")
+    for row in rows:
+        print("  " + "  ".join(cell.ljust(width)
+                               for cell, width in zip(row, widths)).rstrip())
+
+
+def e11_hits_ok(merged: dict) -> bool:
+    """--require-e11-hits: every e11 reuse row must show cache traffic —
+    a result-cache hit rate (repeated/updates streams) or a kernel-memo hit
+    rate (perturbed stream, which runs with the result cache off)."""
+    pairs = e11_rows(merged)
+    if not pairs:
+        print("--require-e11-hits: no bench_e11 reuse/baseline pairs found",
+              file=sys.stderr)
+        return False
+    ok = True
+    for reuse, _ in pairs:
+        hits = max(reuse.get("result_hit_rate", 0.0),
+                   reuse.get("memo_hit_rate", 0.0))
+        if hits <= 0.0:
+            print(f"--require-e11-hits: {reuse['name']} reports zero cache "
+                  f"hits (result_hit_rate and memo_hit_rate both 0)",
+                  file=sys.stderr)
+            ok = False
+    return ok
 
 
 def core_count(snapshot: dict):

@@ -71,7 +71,11 @@ constexpr const char* kHelp = R"(commands:
   save FILE              write the database back to disk
   show                   print constants, facts and axiom counts
   theory                 print the implied first-order theory T
-  fact P(c1, c2, ...)    add an atomic fact
+  fact P(c1, c2, ...)    add an atomic fact (rebuilds the service)
+  assert P(c1, c2, ...)  add a fact through the live service: prepared
+                         statements survive, and only cached results that
+                         read P (or, for a new constant, any result) drop
+  retract P(c1, c2, ...) remove a stored fact through the live service
   known NAME...          declare constants with known identity
   unknown NAME...        declare null values
   distinct A B           add the uniqueness axiom not(A = B)
@@ -85,12 +89,15 @@ constexpr const char* kHelp = R"(commands:
   session                list open sessions (* marks the selected one)
   session new [ENGINE]   open and select a session (default: current engine)
   session use N          route query/prepare/execute through session N
-  stats                  service and per-session counters
+  stats                  service and per-session counters (incl. kernel
+                         memo and result-cache hit/miss/invalidation)
   engines                list registered engines and their capabilities
   set engine NAME        select the engine used by `query`
   set threads N          worker threads for parallel engines (0 = hardware)
   set max_mappings N     Theorem 1 enumeration budget per query
   set join_cap N         DP join-order cap (0 = always greedy)
+  set memo on|off        kernel-verdict memoization and the cross-query
+                         result cache (on by default; identical answers)
   plan QUERY             show Q^, its relational-algebra plan and SQL
   explain QUERY          how the compiled path evaluates QUERY: its plan
                          annotated with per-node cardinality estimates,
@@ -147,6 +154,8 @@ class Shell {
         ResetService();
         lb_ = std::move(merged).value();
       }
+    } else if (cmd == "assert" || cmd == "retract") {
+      Update(cmd, rest);
     } else if (cmd == "known" || cmd == "unknown" || cmd == "distinct") {
       auto merged = ParseCwDatabase(SerializeCwDatabase(*lb_) + "\n" + cmd +
                                     " " + rest + "\n");
@@ -249,6 +258,17 @@ class Shell {
       options_.brute.max_mappings = max;
       current_ = SIZE_MAX;
       std::printf("max_mappings = %llu\n", max);
+    } else if (key == "memo") {
+      if (value != "on" && value != "off") {
+        Report(Status::InvalidArgument("set memo expects 'on' or 'off'"));
+        return;
+      }
+      const bool on = value == "on";
+      options_.exact.memo = on;
+      options_.brute.memo = on;
+      use_result_cache_ = on;
+      current_ = SIZE_MAX;
+      std::printf("memo = %s\n", value.c_str());
     } else if (key == "join_cap") {
       unsigned long long cap = 0;
       if (!ParseStrictUint(value, &cap) || cap > 20) {
@@ -262,8 +282,8 @@ class Shell {
       std::printf("join_cap = %llu\n", cap);
     } else {
       Report(Status::InvalidArgument(
-          "set expects 'engine NAME', 'threads N', 'max_mappings N' or "
-          "'join_cap N'"));
+          "set expects 'engine NAME', 'threads N', 'max_mappings N', "
+          "'join_cap N' or 'memo on|off'"));
     }
   }
 
@@ -346,6 +366,46 @@ class Shell {
     auto answer = async->result.get();
     if (!answer.ok()) return Report(answer.status());
     std::printf("%s\n", AnswerToString(ph1, answer.value()).c_str());
+  }
+
+  /// `assert P(c1, ...)` / `retract P(c1, ...)`: a single-fact update
+  /// through the live service. Unlike `fact` (which rebuilds the whole
+  /// service), sessions and prepared statements survive — only dependent
+  /// cached results are invalidated.
+  void Update(const std::string& cmd, const std::string& rest) {
+    const size_t open = rest.find('(');
+    const size_t close = rest.rfind(')');
+    if (open == std::string::npos || close == std::string::npos ||
+        close < open) {
+      Report(Status::InvalidArgument(cmd + " expects P(c1, c2, ...)"));
+      return;
+    }
+    auto trim = [](std::string s) {
+      while (!s.empty() && s.front() == ' ') s.erase(0, 1);
+      while (!s.empty() && s.back() == ' ') s.pop_back();
+      return s;
+    };
+    const std::string pred = trim(rest.substr(0, open));
+    if (pred.empty()) {
+      Report(Status::InvalidArgument(cmd + " expects a predicate name"));
+      return;
+    }
+    std::vector<std::string> names;
+    std::istringstream args(rest.substr(open + 1, close - open - 1));
+    std::string arg;
+    while (std::getline(args, arg, ',')) {
+      arg = trim(arg);
+      if (arg.empty()) {
+        Report(Status::InvalidArgument(cmd + ": empty constant name"));
+        return;
+      }
+      names.push_back(arg);
+    }
+    const Status status = cmd == "assert" ? Svc().Assert(pred, names)
+                                          : Svc().Retract(pred, names);
+    if (!status.ok()) return Report(status);
+    std::printf("%sed (db version %llu)\n", cmd.c_str(),
+                Ull(Svc().db_version()));
   }
 
   /// `session` / `session new [ENGINE]` / `session use N`.
@@ -436,10 +496,19 @@ class Shell {
     std::printf(
         "service: %d pool threads, %zu sessions opened, %zu cached queries\n"
         "prepares: %llu (%llu hits, %llu misses)\n"
-        "executions: %llu (%llu async, %llu cancelled)\n",
+        "executions: %llu (%llu async, %llu cancelled)\n"
+        "updates: %llu asserts, %llu retracts (db version %llu)\n"
+        "result cache: %llu hits, %llu misses, %llu invalidated, "
+        "%zu cached\n"
+        "kernel memo: %llu row hits, %llu row misses, %llu images skipped\n",
         service_->threads(), s.sessions_opened, s.cached_queries,
         Ull(s.prepares), Ull(s.cache_hits), Ull(s.cache_misses),
-        Ull(s.executions), Ull(s.async_executions), Ull(s.cancelled));
+        Ull(s.executions), Ull(s.async_executions), Ull(s.cancelled),
+        Ull(s.asserts), Ull(s.retracts), Ull(s.db_version),
+        Ull(s.result_hits), Ull(s.result_misses),
+        Ull(s.result_invalidations), s.cached_results,
+        Ull(s.memo_row_hits), Ull(s.memo_row_misses),
+        Ull(s.memo_images_skipped));
     for (size_t i = 0; i < sessions_.size(); ++i) {
       const Session& session = *sessions_[i];
       std::printf("%c #%zu %-16s prepares=%llu hits=%llu executions=%llu\n",
@@ -448,9 +517,12 @@ class Shell {
                   Ull(session.cache_hits()), Ull(session.executions()));
       const ExecutionTrace& trace = session.last_trace();
       if (trace.query != nullptr) {
-        std::printf("      last: %s  [%s, %llu mappings, %s]\n", trace.query,
-                    trace.engine, Ull(trace.mappings_examined),
-                    trace.ok ? "ok" : "failed");
+        std::printf(
+            "      last: %s  [%s, %llu mappings, %s%s, memo %llu/%llu]\n",
+            trace.query, trace.engine, Ull(trace.mappings_examined),
+            trace.ok ? "ok" : "failed", trace.cached ? ", cached" : "",
+            Ull(trace.memo.row_hits),
+            Ull(trace.memo.row_hits + trace.memo.row_misses));
       }
     }
   }
@@ -476,6 +548,7 @@ class Shell {
     SessionOptions opts;
     opts.engine = engine;
     opts.engine_options = options_;
+    opts.use_result_cache = use_result_cache_;
     auto session = Svc().OpenSession(std::move(opts));
     if (!session.ok()) {
       Report(session.status());
@@ -494,6 +567,10 @@ class Shell {
     for (size_t i = 0; i < sessions_.size(); ++i) {
       const SessionOptions& o = sessions_[i]->options();
       if (o.engine == engine && o.engine_options.threads == options_.threads &&
+          o.use_result_cache == use_result_cache_ &&
+          o.engine_options.exact.memo == options_.exact.memo &&
+          o.engine_options.exact.ra_dp_join_cap ==
+              options_.exact.ra_dp_join_cap &&
           o.engine_options.exact.max_mappings ==
               options_.exact.max_mappings) {
         return sessions_[i].get();
@@ -512,6 +589,9 @@ class Shell {
   std::unique_ptr<CwDatabase> lb_;
   std::string engine_name_ = "exact";
   EngineOptions options_;
+  /// `set memo` flips this together with the engines' memo flags, so one
+  /// switch A/Bs both reuse levels.
+  bool use_result_cache_ = true;
 
   /// The shell is a service client: `service_` borrows `lb_` and is
   /// declared after it (destroyed first).
