@@ -199,7 +199,7 @@ KernelMemo::KernelMemo(bool enabled, size_t max_entries)
 }
 
 uint32_t KernelMemo::InternSignature(const std::string& sig) {
-  std::lock_guard<std::mutex> lock(sig_mu_);
+  MutexLock lock(sig_mu_);
   auto [it, fresh] =
       sig_ids_.emplace(sig, static_cast<uint32_t>(sig_ids_.size()));
   (void)fresh;
@@ -234,7 +234,7 @@ void KernelMemo::InsertRow(uint32_t sig_id, const Value* row, size_t arity,
   if (!enabled_) return;
   const uint64_t hash = HashRow(sig_id, row, arity);
   std::atomic<Node*>& head = buckets_[hash & (buckets_.size() - 1)];
-  std::lock_guard<std::mutex> lock(write_mu_);
+  MutexLock lock(write_mu_);
   for (Node* node = head.load(std::memory_order_relaxed); node != nullptr;
        node = node->next) {
     if (node->hash == hash && node->sig_id == sig_id &&
@@ -265,7 +265,7 @@ KernelMemoCounters KernelMemo::counters() const {
   out.row_misses = misses_.load(std::memory_order_relaxed);
   out.images_skipped = images_skipped_.load(std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(sig_mu_);
+    MutexLock lock(sig_mu_);
     out.signatures = sig_ids_.size();
   }
   return out;

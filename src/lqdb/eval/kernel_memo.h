@@ -4,7 +4,6 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -12,6 +11,7 @@
 #include "lqdb/cwdb/cw_database.h"
 #include "lqdb/cwdb/mapping.h"
 #include "lqdb/relational/tuple.h"
+#include "lqdb/util/annotations.h"
 
 namespace lqdb {
 
@@ -169,14 +169,18 @@ class KernelMemo {
 
   bool enabled_;
   size_t max_entries_;
+  /// Deliberately unguarded: bucket heads are read lock-free with acquire
+  /// loads; only the publishing store (under `write_mu_`) writes them.
   std::vector<std::atomic<Node*>> buckets_;
 
-  mutable std::mutex write_mu_;
-  std::deque<Node> nodes_;  // stable addresses; grows under write_mu_
+  mutable Mutex write_mu_;
+  /// Stable addresses; grows under `write_mu_` only, but published nodes
+  /// are read lock-free through `buckets_`.
+  std::deque<Node> nodes_ GUARDED_BY(write_mu_);
   std::atomic<size_t> size_{0};
 
-  mutable std::mutex sig_mu_;
-  std::unordered_map<std::string, uint32_t> sig_ids_;
+  mutable Mutex sig_mu_;
+  std::unordered_map<std::string, uint32_t> sig_ids_ GUARDED_BY(sig_mu_);
 
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};

@@ -2,12 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
-#include <mutex>
 #include <utility>
 #include <vector>
 
 #include "lqdb/eval/evaluator.h"
+#include "lqdb/util/annotations.h"
 
 namespace lqdb {
 
@@ -62,21 +61,23 @@ class ParallelExactEvaluator::Walk {
     stop_.store(true, std::memory_order_relaxed);
     // Empty critical section: a waiter either sees the flag before
     // sleeping or is woken by the notify below (no lost wakeup).
-    { std::lock_guard<std::mutex> lock(queue_mu_); }
-    queue_cv_.notify_all();
+    { MutexLock lock(queue_mu_); }
+    queue_cv_.NotifyAll();
   }
   bool stopped() const { return stop_.load(std::memory_order_relaxed); }
 
   void RecordError(Status error) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (error_.ok()) error_ = std::move(error);
     }
     Stop();
   }
 
-  /// Valid after Run() returned.
-  const Status& error() const { return error_; }
+  /// Valid after Run() returned: the fan-out's join is the happens-before
+  /// edge that makes this lock-free read safe, which the static analysis
+  /// cannot see — hence the exemption.
+  const Status& error() const NO_THREAD_SAFETY_ANALYSIS { return error_; }
   uint64_t examined() const {
     return examined_.load(std::memory_order_relaxed);
   }
@@ -84,7 +85,7 @@ class ParallelExactEvaluator::Walk {
     return worker_ranges_;
   }
 
-  std::mutex& mu() { return mu_; }
+  Mutex& mu() RETURN_CAPABILITY(mu_) { return mu_; }
 
  private:
   template <typename PerMapping>
@@ -97,11 +98,11 @@ class ParallelExactEvaluator::Walk {
     std::vector<MappingRange> remainder;
     const uint64_t chunk = std::max<uint64_t>(1, options_.steal_chunk);
 
-    std::unique_lock<std::mutex> lock(queue_mu_);
+    MutexLock lock(queue_mu_);
     while (true) {
-      queue_cv_.wait(lock, [this] {
-        return stopped() || !queue_.empty() || walking_ == 0;
-      });
+      while (!stopped() && queue_.empty() && walking_ != 0) {
+        queue_cv_.Wait(queue_mu_, lock);
+      }
       if (stopped() || queue_.empty()) break;  // done or nothing left
 
       // Steal the largest remaining range: the shallowest RGS prefix
@@ -114,7 +115,7 @@ class ParallelExactEvaluator::Walk {
       queue_[best] = std::move(queue_.back());
       queue_.pop_back();
       ++walking_;
-      lock.unlock();
+      lock.Unlock();
 
       remainder.clear();
       ForEachCanonicalMappingChunk(
@@ -137,14 +138,14 @@ class ParallelExactEvaluator::Walk {
           &remainder);
       ++worker_ranges_[index];
 
-      lock.lock();
+      lock.Lock();
       --walking_;
       if (stopped()) break;
       if (!remainder.empty()) {
         for (MappingRange& r : remainder) queue_.push_back(std::move(r));
-        queue_cv_.notify_all();
+        queue_cv_.NotifyAll();
       } else if (queue_.empty() && walking_ == 0) {
-        queue_cv_.notify_all();  // wake idlers so they can exit
+        queue_cv_.NotifyAll();  // wake idlers so they can exit
       }
     }
   }
@@ -152,15 +153,17 @@ class ParallelExactEvaluator::Walk {
   const CwDatabase* lb_;
   const ParallelExactOptions& options_;
   ThreadPool* pool_;
-  std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::vector<MappingRange> queue_;
-  size_t walking_ = 0;  // workers currently mid-chunk (guarded by queue_mu_)
+  Mutex queue_mu_;
+  CondVar queue_cv_;
+  std::vector<MappingRange> queue_ GUARDED_BY(queue_mu_);
+  size_t walking_ GUARDED_BY(queue_mu_) = 0;  // workers currently mid-chunk
+  /// Indexed per worker, each slot written by exactly one worker — no
+  /// guard needed (readers wait for the fan-out's join).
   std::vector<uint64_t> worker_ranges_;
   std::atomic<bool> stop_{false};
   std::atomic<uint64_t> examined_{0};
-  std::mutex mu_;
-  Status error_;
+  Mutex mu_;
+  Status error_ GUARDED_BY(mu_);
 };
 
 ParallelExactEvaluator::ParallelExactEvaluator(const CwDatabase* lb,
@@ -210,7 +213,7 @@ Result<bool> ParallelExactEvaluator::ContainsImpl(
     if ((scratch->batch.verdicts[0] != 0) == possible_mode) {
       // Decisive mapping: a falsifier (certain mode) or a witness
       // (possible mode) settles the question for every worker.
-      std::lock_guard<std::mutex> lock(walk.mu());
+      MutexLock lock(walk.mu());
       if (!decided.load(std::memory_order_relaxed)) {
         decided.store(true, std::memory_order_relaxed);
         decisive_h = h;

@@ -1,5 +1,6 @@
 #include "lqdb/exact/ra_exact.h"
 
+#include <cassert>
 #include <string>
 #include <vector>
 
@@ -7,6 +8,7 @@
 #include "lqdb/logic/printer.h"
 #include "lqdb/ra/compiler.h"
 #include "lqdb/ra/executor.h"
+#include "lqdb/ra/validate.h"
 
 namespace lqdb {
 
@@ -137,6 +139,17 @@ const ReducedPlan& RaExactEvaluator::ReducedFor(const PlanPtr& plan) {
   } else {
     entry.plan = plan;  // null param → the sweeps run the plan unreduced
   }
+#ifndef NDEBUG
+  // Debug builds statically validate every plan shape this engine is about
+  // to execute (see validate.h); the differential suite additionally
+  // validates every plan of its instance pool in all build modes.
+  PlanValidateOptions vopts;
+  vopts.vocab = &lb_->vocab();
+  vopts.param = entry.param.get();
+  const Status verdict = ValidatePlan(entry.plan, vopts);
+  assert(verdict.ok() && "semijoin-reduced plan failed static validation");
+  (void)verdict;
+#endif
   return reduced_cache_.emplace(plan.get(), std::move(entry)).first->second;
 }
 
@@ -160,6 +173,19 @@ Result<BoundQuery> RaExactEvaluator::Prepare(const Query& query) {
   const RaCardinalities stats = StatsFor(*lb_, options_);
   Status s = bound.CompileRaPlan(lb_->vocab(), &stats);
   (void)s;  // a failed compile leaves ra_plan() null → fallback path
+#ifndef NDEBUG
+  if (bound.ra_plan() != nullptr) {
+    // A plan the compiler just produced must pass the static validator; a
+    // failure here is a compiler bug, not a user error.
+    PlanValidateOptions vopts;
+    vopts.vocab = &lb_->vocab();
+    const Status verdict = ValidatePlan(bound.ra_plan(), vopts);
+    if (!verdict.ok()) {
+      return Status::Internal("compiled plan failed static validation: " +
+                              verdict.message());
+    }
+  }
+#endif
   plan_cache_.emplace(key, bound.ra_plan());
   return bound;
 }

@@ -6,6 +6,8 @@
 #include <sstream>
 #include <vector>
 
+#include "lqdb/util/parse.h"
+
 namespace lqdb {
 
 namespace {
@@ -113,10 +115,11 @@ Result<std::unique_ptr<CwDatabase>> ParseCwDatabase(std::string_view text) {
         return Err(line_no, "'predicate' needs NAME/ARITY");
       }
       std::string name = words[1].substr(0, slash);
+      // Strict parse: std::stoi's prefix parsing read "P/2x" as arity 2
+      // and threw (rather than erred) on out-of-range arities.
       int arity = 0;
-      try {
-        arity = std::stoi(words[1].substr(slash + 1));
-      } catch (...) {
+      if (!ParseStrictInt(std::string_view(words[1]).substr(slash + 1),
+                          &arity)) {
         return Err(line_no, "bad arity in '" + words[1] + "'");
       }
       if (!IsIdentifier(name)) return Err(line_no, "bad predicate name");

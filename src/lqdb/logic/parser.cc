@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "lqdb/util/parse.h"
+
 namespace lqdb {
 
 namespace {
@@ -281,7 +283,13 @@ class Parser {
               "expected arity after '/' at offset " +
               std::to_string(Peek().pos));
         }
-        int arity = std::stoi(Peek().text);
+        // Strict parse: std::stoi would throw (the library is
+        // exception-free) on an arity beyond int range.
+        int arity = 0;
+        if (!ParseStrictInt(Peek().text, &arity)) {
+          return Status::InvalidArgument(
+              "arity out of range at offset " + std::to_string(Peek().pos));
+        }
         Advance();
         LQDB_ASSIGN_OR_RETURN(PredId p,
                               vocab_->AddAuxiliaryPredicate(name, arity));

@@ -109,6 +109,11 @@ class Plan {
   explicit Plan(PlanKind kind) : kind_(kind) {}
 
  private:
+  /// Test-only backdoor (tests/ra_validate_test.cc): corrupts constructed
+  /// nodes to prove the static validator rejects shapes the factories
+  /// refuse to build. Never used by library code.
+  friend struct PlanTestPeer;
+
   void AppendTo(const Vocabulary& vocab, int indent, std::string* out) const;
 
   PlanKind kind_;

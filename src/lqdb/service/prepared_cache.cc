@@ -30,7 +30,7 @@ std::shared_ptr<PreparedQuery> PreparedCache::Find(
     const std::string& text, PreparedHandle* handle) const {
   const std::string key = KeyOf(engine, options_key, text);
   const Shard& shard = *shards_[ShardOf(key)];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.by_key.find(key);
   if (it == shard.by_key.end()) return nullptr;
   *handle = it->second;
@@ -44,7 +44,7 @@ std::shared_ptr<PreparedQuery> PreparedCache::Insert(
       KeyOf(entry->engine(), entry->options_key(), entry->text());
   const size_t index = ShardOf(key);
   Shard& shard = *shards_[index];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto [it, fresh] = shard.by_key.emplace(key, PreparedHandle{0});
   if (!fresh) {
     // Lost the publish race; the earlier winner keeps the handle so every
@@ -65,7 +65,7 @@ std::shared_ptr<PreparedQuery> PreparedCache::Resolve(PreparedHandle handle)
     const {
   if (handle == 0) return nullptr;
   const Shard& shard = *shards_[(handle - 1) % shards_.size()];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.by_handle.find(handle);
   return it == shard.by_handle.end() ? nullptr : it->second;
 }
@@ -73,7 +73,7 @@ std::shared_ptr<PreparedQuery> PreparedCache::Resolve(PreparedHandle handle)
 size_t PreparedCache::size() const {
   size_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     total += shard->by_handle.size();
   }
   return total;

@@ -3,13 +3,13 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "lqdb/eval/bound_query.h"
+#include "lqdb/util/annotations.h"
 #include "lqdb/logic/query.h"
 #include "lqdb/util/result.h"
 
@@ -101,13 +101,13 @@ class PreparedCache {
 
  private:
   struct Shard {
-    mutable std::mutex mu;
+    mutable Mutex mu;
     /// engine + '\n' + options key + '\n' + text → handle (engine names
     /// and options keys contain no newline).
-    std::unordered_map<std::string, PreparedHandle> by_key;
+    std::unordered_map<std::string, PreparedHandle> by_key GUARDED_BY(mu);
     std::unordered_map<PreparedHandle, std::shared_ptr<PreparedQuery>>
-        by_handle;
-    uint64_t next = 0;  // shard-local dense counter
+        by_handle GUARDED_BY(mu);
+    uint64_t next GUARDED_BY(mu) = 0;  // shard-local dense counter
   };
 
   static std::string KeyOf(const std::string& engine,

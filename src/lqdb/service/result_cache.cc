@@ -19,7 +19,7 @@ bool ResultCache::IsValid(const Entry& entry, uint64_t global_change,
 std::optional<Relation> ResultCache::Lookup(
     const std::string& key, uint64_t global_change,
     const std::vector<uint64_t>& pred_change) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     ++misses_;
@@ -37,14 +37,14 @@ std::optional<Relation> ResultCache::Lookup(
 
 void ResultCache::Insert(const std::string& key, const Relation& answer,
                          uint64_t version, std::vector<PredId> reads) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (entries_.count(key) > 0) return;  // first writer wins
   if (entries_.size() >= max_entries_) return;
   entries_.emplace(key, Entry{answer, version, std::move(reads)});
 }
 
 ResultCacheStats ResultCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ResultCacheStats out;
   out.hits = hits_;
   out.misses = misses_;

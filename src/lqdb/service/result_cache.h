@@ -2,7 +2,6 @@
 #define LQDB_SERVICE_RESULT_CACHE_H_
 
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -10,6 +9,7 @@
 
 #include "lqdb/logic/vocabulary.h"
 #include "lqdb/relational/relation.h"
+#include "lqdb/util/annotations.h"
 
 namespace lqdb {
 
@@ -78,11 +78,11 @@ class ResultCache {
                const std::vector<uint64_t>& pred_change) const;
 
   size_t max_entries_;
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, Entry> entries_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t invalidations_ = 0;
+  mutable Mutex mu_;
+  std::unordered_map<std::string, Entry> entries_ GUARDED_BY(mu_);
+  uint64_t hits_ GUARDED_BY(mu_) = 0;
+  uint64_t misses_ GUARDED_BY(mu_) = 0;
+  uint64_t invalidations_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace lqdb

@@ -87,14 +87,14 @@ ServiceStats Service::stats() const {
   out.result_invalidations = rc.invalidations;
   out.cached_results = rc.entries;
   {
-    std::shared_lock<std::shared_mutex> db_lock(db_mu_);
+    ReaderLock db_lock(db_mu_);
     out.db_version = db_version_;
   }
   return out;
 }
 
 uint64_t Service::db_version() const {
-  std::shared_lock<std::shared_mutex> db_lock(db_mu_);
+  ReaderLock db_lock(db_mu_);
   return db_version_;
 }
 
@@ -107,7 +107,7 @@ void Service::BumpVersionLocked(PredId pred, bool constants_grew) {
 
 Status Service::Assert(const std::string& pred,
                        const std::vector<std::string>& names) {
-  std::unique_lock<std::shared_mutex> db_lock(db_mu_);
+  WriterLock db_lock(db_mu_);
   const size_t constants_before = db_->num_constants();
   std::vector<std::string_view> views(names.begin(), names.end());
   LQDB_RETURN_IF_ERROR(db_->AddFact(pred, views));
@@ -119,7 +119,7 @@ Status Service::Assert(const std::string& pred,
 
 Status Service::Retract(const std::string& pred,
                         const std::vector<std::string>& names) {
-  std::unique_lock<std::shared_mutex> db_lock(db_mu_);
+  WriterLock db_lock(db_mu_);
   const PredId p = db_->vocab().FindPredicate(pred);
   if (p == Vocabulary::kNotFound) {
     return Status::NotFound("unknown predicate '" + pred + "'");
@@ -160,7 +160,7 @@ Result<std::shared_ptr<PreparedQuery>> Service::PrepareInternal(
   {
     // Exclusive: parsing interns constants/predicates into the shared
     // vocabulary, and the compiler reads the fact counts.
-    std::unique_lock<std::shared_mutex> db_lock(db_mu_);
+    WriterLock db_lock(db_mu_);
     const size_t constants_before = db_->num_constants();
     LQDB_ASSIGN_OR_RETURN(Query query,
                           ParseQuery(db_->mutable_vocab(), text));
@@ -228,8 +228,8 @@ Result<Relation> Session::Query(const std::string& text) {
 Status Session::EnsureEngine() {
   if (engine_ready_.load(std::memory_order_acquire)) return Status::OK();
   // Lock order: database before session execution mutex, everywhere.
-  std::unique_lock<std::shared_mutex> db_lock(service_->db_mu_);
-  std::lock_guard<std::mutex> exec_lock(exec_mu_);
+  WriterLock db_lock(service_->db_mu_);
+  MutexLock exec_lock(exec_mu_);
   if (engine_ready_.load(std::memory_order_relaxed)) return Status::OK();
   LQDB_ASSIGN_OR_RETURN(engine_, EngineRegistry::Global().Create(
                                      options_.engine, service_->db_,
@@ -246,8 +246,8 @@ Result<Relation> Session::Run(const PreparedQuery& pq, bool possible) {
     // answers are never result-cached: the construction itself moves the
     // database (NE/α predicates), so "same database version" does not mean
     // "same inputs" across engine rebuilds.
-    std::unique_lock<std::shared_mutex> db_lock(service_->db_mu_);
-    std::lock_guard<std::mutex> exec_lock(exec_mu_);
+    WriterLock db_lock(service_->db_mu_);
+    MutexLock exec_lock(exec_mu_);
     const size_t constants_before = service_->db_->num_constants();
     LQDB_ASSIGN_OR_RETURN(std::unique_ptr<QueryEngine> engine,
                           EngineRegistry::Global().Create(
@@ -263,8 +263,8 @@ Result<Relation> Session::Run(const PreparedQuery& pq, bool possible) {
     return out;
   }
   LQDB_RETURN_IF_ERROR(EnsureEngine());
-  std::shared_lock<std::shared_mutex> db_lock(service_->db_mu_);
-  std::lock_guard<std::mutex> exec_lock(exec_mu_);
+  ReaderLock db_lock(service_->db_mu_);
+  MutexLock exec_lock(exec_mu_);
   const bool cacheable = options_.use_result_cache;
   std::string key;
   if (cacheable) {

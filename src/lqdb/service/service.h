@@ -5,8 +5,6 @@
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -15,6 +13,7 @@
 #include "lqdb/relational/relation.h"
 #include "lqdb/service/prepared_cache.h"
 #include "lqdb/service/result_cache.h"
+#include "lqdb/util/annotations.h"
 #include "lqdb/util/arena.h"
 #include "lqdb/util/result.h"
 #include "lqdb/util/thread_pool.h"
@@ -164,8 +163,12 @@ class Session : public std::enable_shared_from_this<Session> {
   int in_flight() const { return in_flight_.load(); }
 
   /// The most recent execution's trace. Stable only while no execution is
-  /// running on this session (single-threaded clients like the shell).
-  const ExecutionTrace& last_trace() const { return last_trace_; }
+  /// running on this session (single-threaded clients like the shell) —
+  /// which is why this read is exempt from the lock contract on
+  /// `last_trace_` rather than taking `exec_mu_`.
+  const ExecutionTrace& last_trace() const NO_THREAD_SAFETY_ANALYSIS {
+    return last_trace_;
+  }
 
  private:
   friend class Service;
@@ -186,7 +189,8 @@ class Session : public std::enable_shared_from_this<Session> {
   /// *before* the execution mutex) and runs one execution.
   Result<Relation> Run(const PreparedQuery& pq, bool possible);
   Result<Relation> RunLocked(QueryEngine* engine, const PreparedQuery& pq,
-                             bool possible);
+                             bool possible) REQUIRES(exec_mu_)
+      REQUIRES_SHARED(service_->db_mu_);
 
   Service* service_;
   SessionOptions options_;
@@ -197,14 +201,14 @@ class Session : public std::enable_shared_from_this<Session> {
 
   /// Serializes executions within this session; always acquired after the
   /// service's database lock.
-  std::mutex exec_mu_;
-  std::unique_ptr<QueryEngine> engine_;
+  Mutex exec_mu_;
+  std::unique_ptr<QueryEngine> engine_ GUARDED_BY(exec_mu_);
   std::atomic<bool> engine_ready_{false};
 
   /// Per-query scratch, reset when each execution completes (deeb's
-  /// arena-per-query model). Guarded by `exec_mu_`.
-  MemArena arena_;
-  ExecutionTrace last_trace_;
+  /// arena-per-query model).
+  MemArena arena_ GUARDED_BY(exec_mu_);
+  ExecutionTrace last_trace_ GUARDED_BY(exec_mu_);
 
   std::atomic<int> in_flight_{0};
   std::atomic<uint64_t> executions_{0};
@@ -272,7 +276,7 @@ class Service {
 
   /// Bumps the change epochs after a write to `pred` under the exclusive
   /// database lock; `constants_grew` additionally raises the global epoch.
-  void BumpVersionLocked(PredId pred, bool constants_grew);
+  void BumpVersionLocked(PredId pred, bool constants_grew) REQUIRES(db_mu_);
 
   CwDatabase* db_;
   ServiceOptions options_;
@@ -280,18 +284,18 @@ class Service {
   /// Guards the database: shared for executions, exclusive for parsing,
   /// updates and mutating engines. Acquired before any session's
   /// `exec_mu_`.
-  mutable std::shared_mutex db_mu_;
+  mutable SharedMutex db_mu_;
 
   PreparedCache cache_;
   ResultCache results_;
 
-  /// Change epochs, guarded by `db_mu_` (written under exclusive, read
-  /// under shared): `db_version_` counts applied updates;
-  /// `global_change_`/`pred_change_[p]` record the version *after* the
-  /// last change affecting every query / queries reading `p`.
-  uint64_t db_version_ = 0;
-  uint64_t global_change_ = 0;
-  std::vector<uint64_t> pred_change_;
+  /// Change epochs (written under the exclusive lock, read under shared):
+  /// `db_version_` counts applied updates; `global_change_` /
+  /// `pred_change_[p]` record the version *after* the last change
+  /// affecting every query / queries reading `p`.
+  uint64_t db_version_ GUARDED_BY(db_mu_) = 0;
+  uint64_t global_change_ GUARDED_BY(db_mu_) = 0;
+  std::vector<uint64_t> pred_change_ GUARDED_BY(db_mu_);
 
   std::atomic<uint64_t> asserts_{0};
   std::atomic<uint64_t> retracts_{0};

@@ -1,0 +1,191 @@
+#ifndef LQDB_UTIL_ANNOTATIONS_H_
+#define LQDB_UTIL_ANNOTATIONS_H_
+
+/// Clang Thread Safety Analysis support: attribute macros plus annotated
+/// wrappers around the std synchronization primitives.
+///
+/// The std types themselves are invisible to the analysis — Clang can only
+/// reason about lock/unlock operations carrying `acquire_capability` /
+/// `release_capability` attributes, which `std::mutex` and the std lock
+/// guards do not have. So the concurrent core holds `lqdb::Mutex` /
+/// `lqdb::SharedMutex` members and takes `lqdb::MutexLock` /
+/// `lqdb::ReaderLock` / `lqdb::WriterLock` scoped guards instead; each is a
+/// zero-cost shim over the std type with the attributes attached. Guarded
+/// members declare their lock contract with `GUARDED_BY(mu_)`, and member
+/// functions that expect the caller to hold a lock say `REQUIRES(mu_)`.
+///
+/// Everything compiles to nothing on non-Clang compilers (gcc, MSVC); on
+/// Clang, `-Wthread-safety` turns a missed lock into a compile error (CI
+/// builds the thread-safety job with `-Werror=thread-safety`).
+///
+/// This header is the one place raw std primitives may appear; the
+/// invariant lint (tools/lint_invariants.py, rule raw-mutex) bans them
+/// elsewhere under src/lqdb.
+
+#include <condition_variable>  // lint:allow(raw-mutex)
+#include <mutex>               // lint:allow(raw-mutex)
+#include <shared_mutex>        // lint:allow(raw-mutex)
+
+#if defined(__clang__) && (!defined(SWIG))
+#define LQDB_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define LQDB_THREAD_ANNOTATION(x)  // no-op
+#endif
+
+#define CAPABILITY(x) LQDB_THREAD_ANNOTATION(capability(x))
+
+#define SCOPED_CAPABILITY LQDB_THREAD_ANNOTATION(scoped_lockable)
+
+#define GUARDED_BY(x) LQDB_THREAD_ANNOTATION(guarded_by(x))
+
+#define PT_GUARDED_BY(x) LQDB_THREAD_ANNOTATION(pt_guarded_by(x))
+
+#define ACQUIRED_BEFORE(...) \
+  LQDB_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+
+#define ACQUIRED_AFTER(...) LQDB_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+#define REQUIRES(...) \
+  LQDB_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+#define REQUIRES_SHARED(...) \
+  LQDB_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+#define ACQUIRE(...) LQDB_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+#define ACQUIRE_SHARED(...) \
+  LQDB_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+#define RELEASE(...) LQDB_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+#define RELEASE_SHARED(...) \
+  LQDB_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+#define RELEASE_GENERIC(...) \
+  LQDB_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE(...) \
+  LQDB_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+#define EXCLUDES(...) LQDB_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+#define RETURN_CAPABILITY(x) LQDB_THREAD_ANNOTATION(lock_returned(x))
+
+#define NO_THREAD_SAFETY_ANALYSIS \
+  LQDB_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace lqdb {
+
+/// An exclusive mutex the analysis can see. Same cost and semantics as the
+/// wrapped `std::mutex`.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// The wrapped primitive, for `CondVar::Wait` only. Touching it directly
+  /// bypasses the analysis.
+  std::mutex& native() { return mu_; }  // lint:allow(raw-mutex)
+
+ private:
+  std::mutex mu_;  // lint:allow(raw-mutex)
+};
+
+/// A reader/writer mutex the analysis can see (wraps `std::shared_mutex`).
+class CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  void LockShared() ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;  // lint:allow(raw-mutex)
+};
+
+/// Scoped exclusive lock over `Mutex` (the annotated `std::unique_lock`).
+/// Supports mid-scope `Unlock()`/`Lock()` for code that drops the lock
+/// around a long computation (the parallel engine's chunk walk), and hands
+/// its native handle to `CondVar::Wait`.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu), lock_(mu.native()) {}
+  ~MutexLock() RELEASE() {}
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void Unlock() RELEASE() { lock_.unlock(); }
+  void Lock() ACQUIRE() { lock_.lock(); }
+
+ private:
+  friend class CondVar;
+  Mutex& mu_;
+  std::unique_lock<std::mutex> lock_;  // lint:allow(raw-mutex)
+};
+
+/// Scoped shared (reader) lock over `SharedMutex`.
+class SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mu) ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.LockShared();
+  }
+  ~ReaderLock() RELEASE() { mu_.UnlockShared(); }
+
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Scoped exclusive (writer) lock over `SharedMutex`.
+class SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~WriterLock() RELEASE() { mu_.Unlock(); }
+
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable bound to `Mutex`/`MutexLock`. `Wait` takes both the
+/// mutex (for the REQUIRES contract the analysis checks) and the scoped
+/// lock (for the actual handle); callers loop on their predicate
+/// explicitly — a predicate lambda would read guarded members from a scope
+/// the analysis cannot connect to the held lock:
+///
+///     MutexLock lock(mu_);
+///     while (queue_.empty() && !shutting_down_) cv_.Wait(mu_, lock);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu, MutexLock& lock) REQUIRES(mu) {
+    (void)mu;
+    cv_.wait(lock.lock_);
+  }
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;  // lint:allow(raw-mutex)
+};
+
+}  // namespace lqdb
+
+#endif  // LQDB_UTIL_ANNOTATIONS_H_

@@ -26,6 +26,9 @@
 #include "lqdb/exact/exact.h"
 #include "lqdb/logic/classify.h"
 #include "lqdb/logic/printer.h"
+#include "lqdb/ra/compiler.h"
+#include "lqdb/ra/semijoin.h"
+#include "lqdb/ra/validate.h"
 #include "lqdb/relational/relation.h"
 #include "lqdb/service/service.h"
 #include "tests/differential/generator.h"
@@ -422,6 +425,46 @@ TEST(DifferentialTest, LargeProfileRaExactAgreesOnAllInstances) {
         << AnswerDiff(*instance.db, "ra-exact", ra_possible, "exact",
                       exact_possible);
   }
+}
+
+/// The static-validation dimension: every query of the full differential
+/// corpus — the 268-instance pool plus the skewed and large profiles —
+/// compiles to a plan that passes `ValidatePlan` with zero findings, and
+/// so does its semijoin-reduced form (validated against the reduction's
+/// param node). This is the standing guarantee behind running the
+/// validator on every compiled plan in debug builds: the gate only helps
+/// if the honest compiler output never trips it.
+TEST(DifferentialTest, CompiledPlansValidateOnAllInstances) {
+  struct Sweep {
+    InstanceProfile profile;
+    uint64_t seeds;
+  };
+  const Sweep sweeps[] = {
+      {InstanceProfile::kTiny, 40},   {InstanceProfile::kSmall, 40},
+      {InstanceProfile::kBinary, 40}, {InstanceProfile::kSmall, 30},
+      {InstanceProfile::kBinary, 30}, {InstanceProfile::kFullySpecified, 40},
+      {InstanceProfile::kPositive, 40}, {InstanceProfile::kTiny, 8},
+      {InstanceProfile::kSkewed, 20}, {InstanceProfile::kLarge, 6},
+  };
+  uint64_t instances = 0;
+  for (const Sweep& sweep : sweeps) {
+    for (uint64_t seed = 0; seed < sweep.seeds; ++seed) {
+      ++instances;
+      DifferentialInstance instance = MakeInstance(seed, sweep.profile);
+      SCOPED_TRACE(Describe(instance));
+
+      RaCompiler compiler(&instance.db->vocab());
+      ASSERT_OK_AND_ASSIGN(PlanPtr plan, compiler.Compile(instance.query));
+      PlanValidateOptions opts;
+      opts.vocab = &instance.db->vocab();
+      EXPECT_OK(ValidatePlan(plan, opts));
+
+      ASSERT_OK_AND_ASSIGN(ReducedPlan reduced, SemijoinReduce(plan));
+      opts.param = reduced.param.get();
+      EXPECT_OK(ValidatePlan(reduced.plan, opts));
+    }
+  }
+  EXPECT_EQ(instances, 294u);
 }
 
 /// The multi-session dimension: K = 8 concurrent service sessions — mixed

@@ -81,6 +81,19 @@ TEST(TextFormatTest, RejectsMalformedInput) {
   EXPECT_FALSE(ParseCwDatabase("fact P(a) \n predicate P/3").ok());
 }
 
+TEST(TextFormatTest, RejectsArityWithTrailingGarbageAndOverflow) {
+  // std::stoi's prefix parsing used to read "P/2x" as arity 2 and threw
+  // (instead of returning a Status) on arities beyond int range; the
+  // strict parse rejects both with a line diagnostic.
+  auto garbage = ParseCwDatabase("predicate P/2x");
+  ASSERT_FALSE(garbage.ok());
+  EXPECT_NE(garbage.status().message().find("bad arity"), std::string::npos)
+      << garbage.status();
+  EXPECT_FALSE(ParseCwDatabase("predicate P/-1").ok());
+  EXPECT_FALSE(ParseCwDatabase("predicate P/99999999999999999999").ok());
+  EXPECT_FALSE(ParseCwDatabase("predicate P/").ok());
+}
+
 TEST(TextFormatTest, RejectsKnownUnknownConflict) {
   EXPECT_FALSE(ParseCwDatabase("known A\nunknown A").ok());
   // The reverse order upgrades silently — 'known' is the stronger claim.

@@ -230,6 +230,17 @@ TEST(ParserTest, RejectsQuantifiedConstant) {
   EXPECT_FALSE(ParseFormula(&v, "exists Socrates. P(Socrates)").ok());
 }
 
+TEST(ParserTest, SecondOrderArityOverflowReturnsStatus) {
+  // std::stoi used to throw here (the library is exception-free); the
+  // strict parse turns an out-of-range arity into an InvalidArgument.
+  Vocabulary v;
+  auto f = ParseFormula(&v, "exists2 S/99999999999999999999. forall x. S(x)");
+  ASSERT_FALSE(f.ok());
+  EXPECT_NE(f.status().message().find("arity out of range"),
+            std::string::npos)
+      << f.status();
+}
+
 TEST(ParserTest, ParsesQueriesWithHeads) {
   Vocabulary v;
   ASSERT_OK_AND_ASSIGN(

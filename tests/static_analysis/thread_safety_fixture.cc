@@ -1,0 +1,40 @@
+// Deliberately BROKEN thread-safety fixture — never part of the CMake
+// build. CI compiles this file with
+//
+//   clang++ -std=c++17 -fsyntax-only -Wthread-safety -Werror -Isrc
+//       tests/static_analysis/thread_safety_fixture.cc
+//
+// and asserts the compile FAILS: `Increment` writes a GUARDED_BY member
+// without holding its mutex, which is exactly the class of bug the
+// annotations in src/lqdb/util/annotations.h exist to catch. If this file
+// ever compiles clean under Clang, the analysis gate has silently stopped
+// working (wrong flags, no-op macros, or a broken wrapper) and the CI step
+// turns red.
+#include "lqdb/util/annotations.h"
+
+namespace lqdb {
+namespace tsa_fixture {
+
+class Counter {
+ public:
+  // BUG (intentional): mutates count_ without acquiring mu_.
+  void Increment() { ++count_; }
+
+  int Read() {
+    MutexLock lock(mu_);
+    return count_;
+  }
+
+ private:
+  Mutex mu_;
+  int count_ GUARDED_BY(mu_) = 0;
+};
+
+inline int Use() {
+  Counter c;
+  c.Increment();
+  return c.Read();
+}
+
+}  // namespace tsa_fixture
+}  // namespace lqdb

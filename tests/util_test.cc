@@ -7,6 +7,7 @@
 
 #include "lqdb/util/arena.h"
 #include "lqdb/util/interner.h"
+#include "lqdb/util/parse.h"
 #include "lqdb/util/result.h"
 #include "lqdb/util/rng.h"
 #include "lqdb/util/status.h"
@@ -221,6 +222,40 @@ TEST(TablePrinterTest, ShortRowsArePadded) {
 TEST(FormatDoubleTest, RendersDigits) {
   EXPECT_EQ(FormatDouble(1.23456, 2), "1.23");
   EXPECT_EQ(FormatDouble(2.0, 1), "2.0");
+}
+
+TEST(ParseStrictTest, AcceptsPureDecimals) {
+  unsigned long long u = 1;
+  EXPECT_TRUE(ParseStrictUint("0", &u));
+  EXPECT_EQ(u, 0ull);
+  EXPECT_TRUE(ParseStrictUint("42", &u));
+  EXPECT_EQ(u, 42ull);
+  EXPECT_TRUE(ParseStrictUint("18446744073709551615", &u));  // ULLONG_MAX
+  EXPECT_EQ(u, 18446744073709551615ull);
+}
+
+TEST(ParseStrictTest, RejectsGarbageSignsAndOverflow) {
+  unsigned long long u = 0;
+  // The prefix-parsing behaviors of std::stoi that bit the shell and the
+  // text format: trailing garbage, signs, spaces — all rejected outright.
+  EXPECT_FALSE(ParseStrictUint("", &u));
+  EXPECT_FALSE(ParseStrictUint("4x", &u));
+  EXPECT_FALSE(ParseStrictUint("-1", &u));
+  EXPECT_FALSE(ParseStrictUint("+1", &u));
+  EXPECT_FALSE(ParseStrictUint(" 1", &u));
+  EXPECT_FALSE(ParseStrictUint("0x10", &u));
+  EXPECT_FALSE(ParseStrictUint("18446744073709551616", &u));  // ULLONG_MAX+1
+}
+
+TEST(ParseStrictTest, IntVariantBoundsTheValue) {
+  int v = -1;
+  EXPECT_TRUE(ParseStrictInt("2147483647", &v));  // INT_MAX
+  EXPECT_EQ(v, 2147483647);
+  EXPECT_FALSE(ParseStrictInt("2147483648", &v));
+  EXPECT_FALSE(ParseStrictInt("99999999999999999999", &v));
+  EXPECT_TRUE(ParseStrictInt("7", &v, /*max=*/7));
+  EXPECT_EQ(v, 7);
+  EXPECT_FALSE(ParseStrictInt("8", &v, /*max=*/7));
 }
 
 }  // namespace

@@ -39,28 +39,18 @@
 #include "lqdb/logic/parser.h"
 #include "lqdb/logic/printer.h"
 #include "lqdb/ra/compiler.h"
+#include "lqdb/ra/semijoin.h"
 #include "lqdb/ra/sql.h"
+#include "lqdb/ra/validate.h"
 #include "lqdb/service/service.h"
+#include "lqdb/util/parse.h"
 
 namespace lqdb {
 namespace {
 
-/// Strict nonnegative-decimal parse for `set` arguments: every character
-/// must be a digit, so "4x" is rejected instead of silently parsing as 4
-/// the way std::stoi's prefix parsing would. Returns false on an empty
-/// token, a non-digit, or uint64 overflow.
-bool ParseStrictUint(const std::string& token, unsigned long long* out) {
-  if (token.empty()) return false;
-  unsigned long long value = 0;
-  for (char ch : token) {
-    if (ch < '0' || ch > '9') return false;
-    const unsigned digit = static_cast<unsigned>(ch - '0');
-    if (value > (ULLONG_MAX - digit) / 10) return false;
-    value = value * 10 + digit;
-  }
-  *out = value;
-  return true;
-}
+// `set` arguments parse via the shared strict-decimal helper
+// (lqdb/util/parse.h): "4x" and overflowing values are rejected rather
+// than prefix-parsed the way std::stoi would.
 
 unsigned long long Ull(uint64_t v) {
   return static_cast<unsigned long long>(v);
@@ -333,6 +323,21 @@ class Shell {
     std::printf("join_cap: %zu\n", options_.exact.ra_dp_join_cap);
     std::printf("nodes: %zu unique (%zu as a tree)\n",
                 plan.value()->NumUniqueNodes(), plan.value()->NumNodes());
+    // The static plan validator's verdict (see src/lqdb/ra/validate.h) on
+    // the compiled plan and on its semijoin-reduced form — the shapes the
+    // ra-exact engine actually executes.
+    PlanValidateOptions vopts;
+    vopts.vocab = &lb_->vocab();
+    const Status verdict = ValidatePlan(plan.value(), vopts);
+    std::printf("validator: %s\n",
+                verdict.ok() ? "OK" : verdict.ToString().c_str());
+    auto reduced = SemijoinReduce(plan.value());
+    if (reduced.ok()) {
+      vopts.param = reduced->param.get();
+      const Status rverdict = ValidatePlan(reduced->plan, vopts);
+      std::printf("validator (reduced): %s\n",
+                  rverdict.ok() ? "OK" : rverdict.ToString().c_str());
+    }
     std::printf("SQL:\n%s\n", EmitSql(lb_->vocab(), plan.value()).c_str());
   }
 
